@@ -1,0 +1,26 @@
+"""Benchmark-harness configuration.
+
+Each ``test_bench_fig*.py`` module regenerates one of the paper's figures
+(Figs. 3-8) under pytest-benchmark timing and prints the regenerated
+rows/series, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+figure-reproduction harness.  ``test_bench_functional.py`` additionally
+benchmarks the functional layer (real halo exchanges, pair search, MD
+steps), and ``test_bench_ablations.py`` covers the design-choice ablations
+from DESIGN.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show():
+    """Print a regenerated table once per session (visible with -s)."""
+    seen = set()
+
+    def _show(tbl):
+        if tbl.title not in seen:
+            seen.add(tbl.title)
+            print("\n" + tbl.render())
+        return tbl
+
+    return _show

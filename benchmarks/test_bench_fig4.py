@@ -1,0 +1,33 @@
+"""EXP-F4: regenerate Fig. 4 (NVSHMEM strong scaling, GB200 NVL72 MNNVL).
+
+Paper series: ns/day and parallel efficiency for 720k/1440k/2880k over
+1-8 nodes (4 GB200 GPUs each), all-NVLink.  Expected shape: 492 ns/day
+(720k) and 272 ns/day (1440k) single-node anchors; efficiency decays with
+node count and larger systems scale better (more atoms/GPU).
+"""
+
+import pytest
+
+from repro.analysis import fig4_mnnvl
+
+
+def test_bench_fig4(benchmark, show):
+    tbl = benchmark(fig4_mnnvl)
+    show(tbl)
+    cols = list(tbl.columns)
+
+    def rows(system):
+        return [r for r in tbl.rows if r[cols.index("system")] == system]
+
+    # Single-node anchors within 15% of the paper.
+    base720 = rows("720k")[0][cols.index("ns_per_day")]
+    base1440 = rows("1440k")[0][cols.index("ns_per_day")]
+    assert base720 == pytest.approx(492, rel=0.15)
+    assert base1440 == pytest.approx(272, rel=0.15)
+    # Efficiency decays monotonically (tiny tolerance: at >500k atoms/GPU
+    # the first doubling can come out marginally superlinear).
+    for system in ("720k", "1440k", "2880k"):
+        effs = [r[cols.index("efficiency")] for r in rows(system)]
+        assert all(b <= a + 5e-3 for a, b in zip(effs, effs[1:]))
+    eff8 = {s: rows(s)[-1][cols.index("efficiency")] for s in ("720k", "1440k", "2880k")}
+    assert eff8["720k"] < eff8["1440k"] < eff8["2880k"]

@@ -1,0 +1,41 @@
+"""EXP-F6: regenerate Fig. 6 (device-side timings, intra-node, 4 ranks).
+
+Paper bars: Local work / Non-local work / Non-overlap / Time-per-step for
+grappa 45k, 180k, 360k (11.25k-90k atoms/GPU) under MPI and NVSHMEM.
+Expected shape: local ~1.7-2.0 ns/atom; non-local is the rate limiter with
+NVSHMEM well below MPI at 11.25k atoms/GPU, converging by 90k atoms/GPU
+where NVSHMEM fully overlaps communication with local work.
+"""
+
+import pytest
+
+from repro.analysis import fig6_device_timings_intranode
+
+
+def test_bench_fig6(benchmark, show):
+    tbl = benchmark(fig6_device_timings_intranode)
+    show(tbl)
+    cols = list(tbl.columns)
+
+    def row(system, backend):
+        for r in tbl.rows:
+            if r[cols.index("system")] == system and r[cols.index("backend")] == backend:
+                return dict(zip(cols, r))
+        raise KeyError((system, backend))
+
+    # Local work scales ~1.7-2.0 ns/atom, independent of backend.
+    for system in ("45k", "180k", "360k"):
+        r = row(system, "mpi")
+        assert 1.6 <= r["local_us"] * 1e3 / r["atoms_per_gpu"] <= 2.1
+    # Non-local: NVSHMEM 64 vs MPI 116 us at 11.25k atoms/GPU (+-25%).
+    assert row("45k", "nvshmem")["nonlocal_us"] == pytest.approx(64, rel=0.25)
+    assert row("45k", "mpi")["nonlocal_us"] == pytest.approx(116, rel=0.25)
+    # Convergence: the MPI/NVSHMEM span ratio shrinks with size.
+    ratios = [
+        row(s, "mpi")["nonlocal_us"] / row(s, "nvshmem")["nonlocal_us"]
+        for s in ("45k", "180k", "360k")
+    ]
+    assert ratios[0] > ratios[1] > ratios[2]
+    # Near-perfect overlap at 90k atoms/GPU for NVSHMEM.
+    r = row("360k", "nvshmem")
+    assert r["non_overlap_us"] < 0.1 * r["nonlocal_us"]

@@ -1,0 +1,39 @@
+"""EXP-F7: regenerate Fig. 7 (multi-node device timings, 11.25k atoms/GPU).
+
+Paper bars: 90k/180k/360k on 8/16/32 ranks (1D/2D/3D DD) on Eos.  Expected
+shape: local ~22 us throughout; non-local limits the step; 1D -> 2D grows
+the non-local span modestly despite doubling the pulses, 2D -> 3D grows it
+~45%; other per-step tasks contribute 30-40 us regardless of DD.
+"""
+
+import pytest
+
+from repro.analysis import fig7_device_timings_11k
+
+
+def test_bench_fig7(benchmark, show):
+    tbl = benchmark(fig7_device_timings_11k)
+    show(tbl)
+    cols = list(tbl.columns)
+
+    def row(system, backend):
+        for r in tbl.rows:
+            if r[cols.index("system")] == system and r[cols.index("backend")] == backend:
+                return dict(zip(cols, r))
+        raise KeyError((system, backend))
+
+    # Local work ~22 us at 11.25k atoms/GPU everywhere.
+    for system in ("90k", "180k", "360k"):
+        assert row(system, "mpi")["local_us"] == pytest.approx(22, rel=0.2)
+    # Non-local dominates local at this size.
+    for system in ("90k", "180k", "360k"):
+        r = row(system, "nvshmem")
+        assert r["nonlocal_us"] > r["local_us"]
+    # Dimensionality scaling of the non-local span (NVSHMEM).
+    nl = {row(s, "nvshmem")["grid"].count("x"): 0 for s in ("90k",)}  # noqa: F841
+    spans = [row(s, "nvshmem")["nonlocal_us"] for s in ("90k", "180k", "360k")]
+    assert spans[1] / spans[0] < 1.6  # 1D -> 2D modest growth
+    assert 1.1 < spans[2] / spans[1] < 1.9  # 2D -> 3D ~45%
+    # NVSHMEM beats MPI at every dimensionality here.
+    for system in ("90k", "180k", "360k"):
+        assert row(system, "nvshmem")["step_us"] < row(system, "mpi")["step_us"]

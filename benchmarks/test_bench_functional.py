@@ -1,0 +1,127 @@
+"""Functional-layer benchmarks: real data movement and compute throughput.
+
+These measure the *library's own* performance (this is the honest
+pytest-benchmark content — the figure benches above time the model): halo
+exchange latency per backend, rank-local pair search, the non-bonded kernel,
+and a full DD MD step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import MpiBackend, NvshmemBackend, ThreadMpiBackend
+from repro.dd import DDGrid, DDSimulator
+from repro.dd.decomposition import DomainDecomposition
+from repro.dd.exchange import build_cluster
+from repro.md import default_forcefield, make_grappa_system
+from repro.md.cells import periodic_cell_list
+from repro.md.nonbonded import pair_forces
+
+
+@pytest.fixture(scope="module")
+def ff():
+    return default_forcefield(cutoff=0.65)
+
+
+@pytest.fixture(scope="module")
+def system(ff):
+    return make_grappa_system(6000, seed=41, ff=ff, dtype=np.float32)
+
+
+@pytest.mark.parametrize(
+    "make_backend",
+    [
+        lambda: MpiBackend(),
+        lambda: ThreadMpiBackend(),
+        lambda: NvshmemBackend(seed=0, delay_delivery=False),
+        lambda: NvshmemBackend(pes_per_node=2, seed=0, delay_delivery=False),
+    ],
+    ids=["mpi", "threadmpi", "nvshmem-nvlink", "nvshmem-mixed"],
+)
+def test_bench_coordinate_exchange(benchmark, system, ff, make_backend):
+    """One full coordinate halo exchange over 8 ranks (3D DD)."""
+    dd = DomainDecomposition(grid=DDGrid((2, 2, 2)), box=system.box, r_comm=ff.cutoff + 0.12)
+    cluster = build_cluster(system.copy(), dd)
+    backend = make_backend()
+    backend.bind(cluster)
+    benchmark(backend.exchange_coordinates, cluster)
+
+
+def test_bench_force_exchange(benchmark, system, ff):
+    dd = DomainDecomposition(grid=DDGrid((2, 2, 2)), box=system.box, r_comm=ff.cutoff + 0.12)
+    cluster = build_cluster(system.copy(), dd)
+    backend = MpiBackend()
+    backend.bind(cluster)
+    backend.exchange_coordinates(cluster)
+
+    def run():
+        for f in cluster.local_forces:
+            f[:] = 1.0
+        backend.exchange_forces(cluster)
+
+    benchmark(run)
+
+
+def test_bench_pair_search(benchmark, system, ff):
+    pos = system.positions.astype(np.float64)
+    cl = periodic_cell_list(system.box, ff.cutoff)
+    benchmark(cl.pairs_within, pos, ff.cutoff)
+
+
+def test_bench_nonbonded_kernel(benchmark, system, ff):
+    pos = system.positions.astype(np.float64)
+    cl = periodic_cell_list(system.box, ff.cutoff)
+    i, j = cl.pairs_within(pos, ff.cutoff)
+
+    benchmark(
+        pair_forces, pos, i, j, system.type_ids, system.charges, ff, system.box
+    )
+
+
+def test_bench_full_md_step(benchmark, system, ff):
+    """One complete DD MD step (exchange + forces + integrate), 8 ranks."""
+    sim = DDSimulator(
+        system.copy(), ff, grid=DDGrid((2, 2, 2)), nstlist=1000, buffer=0.15,
+        backend=MpiBackend(),
+    )
+    sim.step()  # neighbour search + first step outside the timed region
+    benchmark(sim.step)
+
+
+def test_bench_halo_plan_build(benchmark, system, ff):
+    dd = DomainDecomposition(grid=DDGrid((2, 2, 2)), box=system.box, r_comm=ff.cutoff + 0.12)
+    from repro.dd.halo import build_halo_plan
+
+    system.wrap()
+    pos = system.positions.astype(np.float64)
+    benchmark(build_halo_plan, dd, pos)
+
+
+def test_bench_spme_reciprocal(benchmark):
+    """Smooth-PME reciprocal solve (spread + FFT + gather), 6k atoms, 64^3."""
+    import numpy as np
+
+    from repro.pme import SpmeSolver, optimal_beta
+
+    rng = np.random.default_rng(0)
+    box = np.full(3, 4.0)
+    pos = rng.random((6000, 3)) * box
+    q = rng.normal(size=6000)
+    q -= q.mean()
+    solver = SpmeSolver(box=box, grid=(64, 64, 64), beta=optimal_beta(1.2))
+    benchmark(solver.reciprocal, pos, q)
+
+
+def test_bench_bonded_kernels(benchmark):
+    """Bond + angle kernels over a 2000-molecule topology."""
+    from repro.md.bonded import angle_forces, bond_forces
+    from repro.md.topology import make_molecular_grappa_system
+
+    system, top = make_molecular_grappa_system(2000, seed=1)
+
+    def run():
+        f, _ = bond_forces(system.positions, top.bonds, top.bond_r0, top.bond_k, box=system.box)
+        angle_forces(system.positions, top.angles, top.angle_theta0, top.angle_k,
+                     box=system.box, out_forces=f)
+
+    benchmark(run)

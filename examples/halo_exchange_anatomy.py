@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Anatomy of the eighth-shell halo exchange (the paper's core algorithm).
+
+Builds a 3D-decomposed system and walks through what the fused NVSHMEM
+kernels see: the global z -> y -> x pulse order, per-pulse PulseData
+(send/recv peers, sizes, atom offsets), the depOffset split between
+immediately-packable independent entries and forwarded dependent entries,
+and the corner-distance trim's effect on communication volume.
+
+Usage:  python examples/halo_exchange_anatomy.py
+"""
+
+import numpy as np
+
+from repro.dd import DomainDecomposition, DDGrid, build_halo_plan
+from repro.md import default_forcefield, make_grappa_system
+from repro.util.tables import Table
+
+DIM_NAMES = {0: "x", 1: "y", 2: "z"}
+
+
+def main() -> None:
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(6000, seed=23, ff=ff, dtype=np.float64)
+    system.wrap()
+    dd = DomainDecomposition(
+        grid=DDGrid((2, 2, 2)), box=system.box, r_comm=ff.cutoff + 0.12
+    )
+
+    print(f"box {system.box.round(2)} nm, {system.n_atoms} atoms, "
+          f"grid 2x2x2 = {dd.grid.n_ranks} ranks, r_comm = {dd.r_comm} nm\n")
+
+    for trim in (False, True):
+        plan = build_halo_plan(dd, system.positions, trim_corners=trim)
+        label = "corner-trimmed" if trim else "slab selection"
+        print(f"--- halo plan ({label}) ---")
+        print(f"global pulse order: "
+              f"{[DIM_NAMES[d] for d in plan.pulse_dims]}  (z -> y -> x phases)")
+
+        tbl = Table(
+            columns=(
+                "pulse", "dim", "send_to", "recv_from", "send", "independent",
+                "dependent", "depends_on", "atom_offset",
+            ),
+            title="rank 0 PulseData (paper Algorithm 1)",
+        )
+        rank0 = plan.ranks[0]
+        for p in rank0.pulses:
+            tbl.add_row(
+                p.pulse_id,
+                DIM_NAMES[p.dim],
+                p.send_rank,
+                p.recv_rank,
+                p.send_size,
+                p.dep_offset,
+                p.send_size - p.dep_offset,
+                ",".join(map(str, p.depends_on)) or "-",
+                p.atom_offset,
+            )
+        print(tbl.render())
+        total = plan.total_sent()
+        dep = sum(
+            p.send_size - p.dep_offset for rp in plan.ranks for p in rp.pulses
+        )
+        print(f"total sent (all ranks): {total} entries "
+              f"({dep} forwarded/dependent = {dep / total:.1%})\n")
+
+    print("The dependent entries are exactly what Algorithm 4 packs *after*")
+    print("the acquire-wait on the previous pulse's signal; everything else")
+    print("is packed (and on NVLink, TMA-stored) immediately.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Sec. 5.3's symmetric-allocation clash — and the team-based fix.
+
+GROMACS dedicates a subset of ranks to PME long-range electrostatics (MPMD
+rank specialization).  NVSHMEM's COMM_WORLD-wide symmetric allocation means
+a PP-only halo buffer cannot exist without every PME rank redundantly
+allocating it too — the reason the paper's halo exchange currently cannot be
+combined with cuFFTMp multi-rank PME.  The authors hope for "a team-based
+allocation extension in NVSHMEM"; our substrate implements that extension so
+the limitation and its resolution can both be demonstrated.
+
+Usage:  python examples/rank_specialization.py
+"""
+
+from repro.nvshmem.heap import SymmetricAllocationError
+from repro.nvshmem.runtime import NodeTopology, NvshmemRuntime
+from repro.nvshmem.teams import split_pp_pme
+
+
+def main() -> None:
+    # 16 PEs across 4 nodes; the last 4 become PME ranks (GROMACS-style).
+    rt = NvshmemRuntime(NodeTopology(n_pes=16, pes_per_node=4))
+    pp, pme = split_pp_pme(rt, n_pme=4)
+    print(f"world: {rt.n_pes} PEs -> PP team {pp.world_pes}, PME team {pme.world_pes}\n")
+
+    halo_shape = (200_000, 3)  # a typical over-allocated halo coordinate buffer
+
+    print("--- status quo: COMM_WORLD-wide symmetric allocation ---")
+    for pe in pp.world_pes:
+        buf = rt.heap.alloc(pe, "haloCoords", halo_shape)
+    try:
+        buf.on(0)
+    except SymmetricAllocationError as err:
+        print(f"PP-only allocation is unusable: {err}")
+    print("-> PME ranks would have to allocate redundantly; with cuFFTMp's")
+    print("   own (non-user-controllable) allocations this combination is")
+    print("   impossible — exactly the paper's reported limitation.\n")
+
+    print("--- with the team-based allocation extension ---")
+    halo = pp.symmetric_alloc("haloCoords", halo_shape)
+    fft = pme.symmetric_alloc("fftGrid", (256, 256, 128))
+    mb = 1 / (1024 * 1024)
+    print(f"PP team allocated haloCoords: {halo.nbytes() * mb:.1f} MiB per PP rank")
+    print(f"PME team allocated fftGrid:   {fft.nbytes() * mb:.1f} MiB per PME rank")
+    print(f"PP heap per rank:  {pp.heap.total_bytes() * mb:6.1f} MiB "
+          f"(PME ranks pay nothing for it)")
+    print(f"PME heap per rank: {pme.heap.total_bytes() * mb:6.1f} MiB\n")
+
+    # Team-relative communication still honours the world topology.
+    import numpy as np
+
+    view = pp.ptr(halo, remote_team_pe=1, local_team_pe=0)  # same node
+    print(f"nvshmem_ptr within the PP team (same node): "
+          f"{'direct NVLink view' if view is not None else 'None'}")
+    pp.put(halo, target_team_pe=11, offset=0,
+           data=np.ones((4, 3), np.float32), source_team_pe=0)  # cross-node
+    rt.quiet()
+    print("cross-node team put delivered:", bool((halo.on(11)[:4] == 1).all()))
+
+
+if __name__ == "__main__":
+    main()

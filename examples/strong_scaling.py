@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Strong-scaling study across all three machines of the paper.
+
+Sweeps a grappa system over GPU counts on the DGX H100 (intra-node), Eos
+(NVLink + InfiniBand), and the GB200 NVL72 (multi-node NVLink), printing
+ns/day, parallel efficiency, and the NVSHMEM-vs-MPI speedup — the analysis
+behind the paper's Figs. 3-5.
+
+Usage:  python examples/strong_scaling.py [n_atoms]
+"""
+
+import sys
+
+from repro.perf import DGX_H100, EOS, GB200_NVL72, estimate_step, grappa_workload
+from repro.util.tables import Table
+from repro.util.units import ms_per_step_to_ns_per_day
+
+
+def sweep(machine, n_atoms, rank_counts):
+    tbl = Table(
+        columns=("machine", "gpus", "nodes", "grid", "mpi_nsday", "nvs_nsday",
+                 "speedup", "nvs_efficiency"),
+        title=f"{n_atoms // 1000}k atoms on {machine.name}",
+    )
+    base = None
+    for ranks in rank_counts:
+        try:
+            wl = grappa_workload(n_atoms, ranks, machine)
+        except ValueError as err:
+            print(f"  {ranks} GPUs: skipped ({err})")
+            continue
+        perf = {}
+        for backend in ("mpi", "nvshmem"):
+            t = estimate_step(wl, machine, backend=backend)
+            perf[backend] = ms_per_step_to_ns_per_day(t.time_per_step * 1e-3)
+        if base is None:
+            base = (ranks, perf["nvshmem"])
+        eff = perf["nvshmem"] / (base[1] * ranks / base[0])
+        tbl.add_row(
+            machine.name, ranks, machine.n_nodes(ranks),
+            "x".join(map(str, wl.grid)),
+            perf["mpi"], perf["nvshmem"], perf["nvshmem"] / perf["mpi"], eff,
+        )
+    return tbl
+
+
+def main() -> None:
+    n_atoms = int(sys.argv[1]) if len(sys.argv) > 1 else 720_000
+    print(sweep(DGX_H100, n_atoms, [1, 2, 4, 8]).render())
+    print(sweep(EOS, n_atoms, [8, 16, 32, 64, 128]).render())
+    print(sweep(GB200_NVL72, n_atoms, [4, 8, 16, 32]).render())
+    print("reading guide: speedup = NVSHMEM/MPI throughput (S > 1: NVSHMEM")
+    print("faster); efficiency is relative to the smallest NVSHMEM run.")
+
+
+if __name__ == "__main__":
+    main()

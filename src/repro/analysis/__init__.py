@@ -1,0 +1,44 @@
+"""Analysis: figure/table generation from the timing model.
+
+One function per paper figure (Figs. 3-8) plus the ablation studies; each
+returns a :class:`~repro.util.tables.Table` with the same rows/series the
+paper plots, ready for ASCII rendering or CSV export.
+"""
+
+from repro.analysis.report import (
+    ablation_cuda_graph,
+    ablation_dep_partitioning,
+    ablation_fused_pulses,
+    ablation_halo_trim,
+    ablation_imbalance,
+    ablation_pinning,
+    ablation_prune,
+    ablation_tma,
+    fig3_intranode,
+    fig4_mnnvl,
+    fig5_multinode,
+    fig6_device_timings_intranode,
+    fig7_device_timings_11k,
+    fig8_device_timings_90k,
+    ext_pme_projection,
+    intranode_three_way,
+)
+
+__all__ = [
+    "ablation_cuda_graph",
+    "ablation_dep_partitioning",
+    "ablation_fused_pulses",
+    "ablation_halo_trim",
+    "ablation_imbalance",
+    "ablation_pinning",
+    "ablation_prune",
+    "ablation_tma",
+    "fig3_intranode",
+    "fig4_mnnvl",
+    "fig5_multinode",
+    "fig6_device_timings_intranode",
+    "fig7_device_timings_11k",
+    "ext_pme_projection",
+    "fig8_device_timings_90k",
+    "intranode_three_way",
+]

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+compare    MPI vs NVSHMEM for one system/GPU-count (the Fig. 3 question)
+scaling    strong-scaling sweep on a machine (Figs. 3-5 style)
+timings    device-side timing breakdown (Figs. 6-8 style)
+timeline   ASCII schedule timeline (Figs. 1-2 style)
+figures    regenerate every paper figure + EXPERIMENTS.md (the harness)
+verify     functional check: DD + fused NVSHMEM exchange vs serial MD
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.md.grappa import GRAPPA_SIZES
+from repro.perf.machines import machine_by_name
+from repro.perf.model import simulate_step
+from repro.perf.workload import grappa_workload
+from repro.util.tables import Table
+from repro.util.units import ms_per_step_to_ns_per_day
+
+
+def _resolve_atoms(system: str) -> int:
+    if system in GRAPPA_SIZES:
+        return GRAPPA_SIZES[system]
+    try:
+        return int(system)
+    except ValueError:
+        raise SystemExit(
+            f"unknown system '{system}': use an atom count or one of "
+            f"{', '.join(GRAPPA_SIZES)}"
+        ) from None
+
+
+def cmd_compare(args) -> None:
+    machine = machine_by_name(args.machine)
+    n_atoms = _resolve_atoms(args.system)
+    wl = grappa_workload(n_atoms, args.gpus, machine)
+    tbl = Table(
+        columns=("backend", "ns_per_day", "ms_per_step", "local_us", "nonlocal_us", "non_overlap_us"),
+        title=f"{args.system} on {args.gpus} GPUs ({machine.name}), grid {wl.grid}",
+    )
+    for backend in ("mpi", "nvshmem"):
+        _, t = simulate_step(wl, machine, backend=backend)
+        tbl.add_row(
+            backend,
+            ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
+            t.time_per_step * 1e-3,
+            t.local_work,
+            t.nonlocal_work,
+            t.non_overlap,
+        )
+    print(tbl.render())
+
+
+def cmd_scaling(args) -> None:
+    machine = machine_by_name(args.machine)
+    n_atoms = _resolve_atoms(args.system)
+    tbl = Table(
+        columns=("gpus", "nodes", "grid", "mpi_nsday", "nvs_nsday", "speedup", "efficiency"),
+        title=f"strong scaling: {args.system} on {machine.name}",
+    )
+    base = None
+    for gpus in args.gpu_counts:
+        try:
+            wl = grappa_workload(n_atoms, gpus, machine)
+        except ValueError as err:
+            print(f"  skipping {gpus} GPUs: {err}", file=sys.stderr)
+            continue
+        nd = {}
+        for backend in ("mpi", "nvshmem"):
+            _, t = simulate_step(wl, machine, backend=backend)
+            nd[backend] = ms_per_step_to_ns_per_day(t.time_per_step * 1e-3)
+        if base is None:
+            base = (gpus, nd["nvshmem"])
+        tbl.add_row(
+            gpus, machine.n_nodes(gpus), "x".join(map(str, wl.grid)),
+            nd["mpi"], nd["nvshmem"], nd["nvshmem"] / nd["mpi"],
+            nd["nvshmem"] / (base[1] * gpus / base[0]),
+        )
+    print(tbl.render())
+
+
+def cmd_timings(args) -> None:
+    machine = machine_by_name(args.machine)
+    n_atoms = _resolve_atoms(args.system)
+    wl = grappa_workload(n_atoms, args.gpus, machine)
+    tbl = Table(
+        columns=("backend", "local_us", "nonlocal_us", "non_overlap_us", "step_us"),
+        title=f"device-side timings: {args.system} on {args.gpus} GPUs ({machine.name})",
+    )
+    for backend in ("mpi", "nvshmem"):
+        _, t = simulate_step(wl, machine, backend=backend)
+        tbl.add_row(backend, t.local_work, t.nonlocal_work, t.non_overlap, t.time_per_step)
+    print(tbl.render())
+
+
+def cmd_timeline(args) -> None:
+    from repro.gpusim.timeline import render_timeline
+
+    machine = machine_by_name(args.machine)
+    wl = grappa_workload(_resolve_atoms(args.system), args.gpus, machine)
+    g, t = simulate_step(wl, machine, backend=args.backend, n_steps=3)
+    resources = sorted({x.resource for x in g.tasks.values() if x.name.startswith("s1:")})
+    print(render_timeline(g, width=args.width, resources=resources, show_labels=False))
+    print(f"steady-state step: {t.time_per_step:.1f} us "
+          f"({ms_per_step_to_ns_per_day(t.time_per_step * 1e-3):.0f} ns/day)")
+
+
+def cmd_critical(args) -> None:
+    from repro.gpusim.critical import critical_path
+
+    machine = machine_by_name(args.machine)
+    wl = grappa_workload(_resolve_atoms(args.system), args.gpus, machine)
+    g, _ = simulate_step(wl, machine, backend=args.backend, n_steps=4)
+    print(critical_path(g, "s3:step_end").render())
+
+
+def cmd_figures(args) -> None:
+    from repro.harness.runner import run_all, write_experiments_md
+
+    results = run_all(args.out, verbose=not args.quiet)
+    write_experiments_md(args.md, results)
+    print(f"wrote {args.md} and CSVs under {args.out}/")
+
+
+def cmd_verify(args) -> None:
+    import numpy as np
+
+    from repro.comm import NvshmemBackend
+    from repro.dd import DDSimulator
+    from repro.md import ReferenceSimulator, default_forcefield, make_grappa_system
+
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(args.atoms, seed=args.seed, ff=ff, dtype=np.float64)
+    serial = system.copy()
+    ReferenceSimulator(serial, ff, nstlist=5, buffer=0.12).run(args.steps)
+    dd = DDSimulator(
+        system, ff, n_ranks=args.ranks, nstlist=5, buffer=0.12, max_pulses=2,
+        backend=NvshmemBackend(pes_per_node=max(1, args.ranks // 2), seed=args.seed),
+    )
+    dd.run(args.steps)
+    dx = system.positions - serial.positions
+    dx -= np.rint(dx / system.box) * system.box
+    dev = float(np.abs(dx).max())
+    print(f"{args.steps} steps, {args.ranks} ranks (grid {dd.grid.shape}), "
+          f"max deviation vs serial: {dev:.2e} nm")
+    if dev > 1e-10:
+        raise SystemExit("FAILED: trajectories diverged")
+    print("OK: fused NVSHMEM halo exchange is bit-consistent with serial MD")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GROMACS NVSHMEM halo-exchange reproduction"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("compare", help="MPI vs NVSHMEM for one configuration")
+    p.add_argument("system", nargs="?", default="45k")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--machine", default="dgx-h100")
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("scaling", help="strong-scaling sweep")
+    p.add_argument("system", nargs="?", default="720k")
+    p.add_argument("--machine", default="eos")
+    p.add_argument("--gpu-counts", type=int, nargs="+", default=[8, 16, 32, 64, 128])
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("timings", help="device-side timing breakdown")
+    p.add_argument("system", nargs="?", default="45k")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--machine", default="dgx-h100")
+    p.set_defaults(fn=cmd_timings)
+
+    p = sub.add_parser("timeline", help="ASCII schedule timeline (Figs. 1-2)")
+    p.add_argument("system", nargs="?", default="180k")
+    p.add_argument("--gpus", type=int, default=16)
+    p.add_argument("--machine", default="eos")
+    p.add_argument("--backend", choices=("mpi", "nvshmem"), default="nvshmem")
+    p.add_argument("--width", type=int, default=110)
+    p.set_defaults(fn=cmd_timeline)
+
+    p = sub.add_parser("critical", help="critical-path analysis of a step")
+    p.add_argument("system", nargs="?", default="45k")
+    p.add_argument("--gpus", type=int, default=4)
+    p.add_argument("--machine", default="dgx-h100")
+    p.add_argument("--backend", choices=("mpi", "nvshmem", "threadmpi"), default="nvshmem")
+    p.set_defaults(fn=cmd_critical)
+
+    p = sub.add_parser("figures", help="regenerate all paper figures")
+    p.add_argument("--out", default="results")
+    p.add_argument("--md", default="EXPERIMENTS.md")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("verify", help="functional DD-vs-serial check")
+    p.add_argument("--atoms", type=int, default=3000)
+    p.add_argument("--ranks", type=int, default=8)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=cmd_verify)
+
+    args = parser.parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

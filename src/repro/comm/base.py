@@ -1,0 +1,59 @@
+"""Backend interface and registry."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.dd.exchange import ClusterState
+
+
+class HaloBackend(ABC):
+    """A coordinate/force halo-exchange implementation.
+
+    Contract: after :meth:`exchange_coordinates`, every rank's halo slots
+    hold the peers' current (shifted) coordinates; after
+    :meth:`exchange_forces`, every halo force contribution has been folded
+    back into its owning rank's home (or earlier-pulse halo) rows.  Results
+    must be bit-identical to the serialized reference exchange up to
+    floating-point accumulation order.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def bind(self, cluster: ClusterState) -> None:
+        """(Re)allocate per-plan resources; called after neighbour search."""
+
+    @abstractmethod
+    def exchange_coordinates(self, cluster: ClusterState) -> None:
+        """Run all coordinate pulses (z, y, x phases with forwarding)."""
+
+    @abstractmethod
+    def exchange_forces(self, cluster: ClusterState) -> None:
+        """Run the reverse force pulses with accumulation."""
+
+
+backend_registry: dict[str, Callable[..., HaloBackend]] = {}
+
+
+def register_backend(name: str) -> Callable:
+    """Class decorator adding a backend to the registry."""
+
+    def deco(cls):
+        backend_registry[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def make_backend(name: str, **kwargs) -> HaloBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = backend_registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend '{name}', available: {sorted(backend_registry)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,107 @@
+"""CPU-initiated MPI-style halo exchange: serialized pulses with staging.
+
+Structurally mirrors the GROMACS GPU-aware MPI path of Fig. 1: for every
+pulse, in strict global order, all ranks (1) run a *pack* kernel into a send
+staging buffer, (2) block in ``MPI_Sendrecv`` with their two ring neighbours,
+(3) run an *unpack* kernel from the receive staging buffer.  Each of these
+stages corresponds to a CPU-GPU synchronization in the real code — the
+latency cost the paper eliminates; here the structure is what the timing
+layer models, while this class provides the functional data path.
+
+Forces go in reverse order with accumulation at the coordinate sender's
+``index_map`` (GROMACS' scatter-accumulate unpack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.base import HaloBackend, register_backend
+from repro.dd.exchange import ClusterState
+
+
+@register_backend("mpi")
+class MpiBackend(HaloBackend):
+    """Serialized staged exchange through explicit send/recv buffers."""
+
+    def __init__(self) -> None:
+        self._send_buf: list[list[np.ndarray]] = []
+        self._recv_buf: list[list[np.ndarray]] = []
+        # Counters used by tests and the timing layer.
+        self.n_sendrecv = 0
+        self.bytes_sent = 0
+
+    def bind(self, cluster: ClusterState) -> None:
+        plan = cluster.plan
+        dtype = cluster.system.dtype
+        self._send_buf = [
+            [np.empty((p.send_size, 3), dtype=dtype) for p in rp.pulses]
+            for rp in plan.ranks
+        ]
+        self._recv_buf = [
+            [np.empty((p.recv_size, 3), dtype=dtype) for p in rp.pulses]
+            for rp in plan.ranks
+        ]
+
+    # -- transport -------------------------------------------------------------
+
+    def _sendrecv(
+        self, cluster: ClusterState, pid: int, payload: list[np.ndarray], reverse: bool
+    ) -> list[np.ndarray]:
+        """Ring sendrecv: every rank sends one buffer, receives one buffer.
+
+        ``reverse=False``: rank r's payload goes to its ``send_rank``
+        (coordinate direction).  ``reverse=True``: to its ``recv_rank``
+        (force direction).
+        """
+        plan = cluster.plan
+        out: list[np.ndarray] = [None] * len(plan.ranks)  # type: ignore[list-item]
+        for rp in plan.ranks:
+            p = rp.pulses[pid]
+            target = p.recv_rank if reverse else p.send_rank
+            if out[target] is not None:
+                raise AssertionError(f"pulse {pid}: two messages for rank {target}")
+            out[target] = payload[rp.rank]
+            self.n_sendrecv += 1
+            self.bytes_sent += payload[rp.rank].nbytes
+        return out
+
+    # -- coordinates ------------------------------------------------------------
+
+    def exchange_coordinates(self, cluster: ClusterState) -> None:
+        plan = cluster.plan
+        for pid in range(plan.n_pulses):
+            # Pack kernels (one per rank; a CPU wait precedes the MPI call).
+            for rp in plan.ranks:
+                p = rp.pulses[pid]
+                buf = self._send_buf[rp.rank][pid]
+                np.take(cluster.local_pos[rp.rank], p.index_map, axis=0, out=buf)
+                buf += p.coord_shift.astype(buf.dtype)
+            delivered = self._sendrecv(
+                cluster, pid, [self._send_buf[r][pid] for r in range(len(plan.ranks))], reverse=False
+            )
+            # Unpack kernels (contiguous halo append: a plain copy).
+            for rp in plan.ranks:
+                p = rp.pulses[pid]
+                self._recv_buf[rp.rank][pid][:] = delivered[rp.rank]
+                cluster.local_pos[rp.rank][
+                    p.atom_offset : p.atom_offset + p.recv_size
+                ] = self._recv_buf[rp.rank][pid]
+
+    # -- forces --------------------------------------------------------------------
+
+    def exchange_forces(self, cluster: ClusterState) -> None:
+        plan = cluster.plan
+        for pid in range(plan.n_pulses - 1, -1, -1):
+            for rp in plan.ranks:
+                p = rp.pulses[pid]
+                buf = self._recv_buf[rp.rank][pid]
+                buf[:] = cluster.local_forces[rp.rank][
+                    p.atom_offset : p.atom_offset + p.recv_size
+                ]
+            delivered = self._sendrecv(
+                cluster, pid, [self._recv_buf[r][pid] for r in range(len(plan.ranks))], reverse=True
+            )
+            for rp in plan.ranks:
+                p = rp.pulses[pid]
+                np.add.at(cluster.local_forces[rp.rank], p.index_map, delivered[rp.rank])

@@ -1,0 +1,91 @@
+"""Cooperative task scheduler for emulating concurrent GPU kernels.
+
+The fused NVSHMEM kernels of the paper run one threadblock group per pulse,
+all concurrently, synchronizing only through signals.  We emulate that
+concurrency with generator-based tasks: a task yields a *predicate* when it
+must wait (an acquire-wait on a signal); the scheduler resumes tasks whose
+predicates hold, in a seeded-random order each round.
+
+Randomized scheduling is the point: property tests run the same exchange
+under many interleavings and assert bit-identical results — evidence that
+the dependency partitioning and signaling protocol (not scheduling luck)
+guarantee correctness.
+
+When no task can advance, the scheduler invokes ``on_stall`` (e.g. NVSHMEM
+proxy progress delivering delayed inter-node puts); if that yields nothing
+either, a :class:`DeadlockError` with per-task diagnostics is raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable
+
+import numpy as np
+
+
+class DeadlockError(RuntimeError):
+    """All tasks blocked and no external progress is possible."""
+
+
+@dataclass
+class _TaskState:
+    name: str
+    gen: Generator
+    predicate: Callable[[], bool] | None = None
+    done: bool = False
+
+
+class CooperativeScheduler:
+    """Round-based cooperative executor with randomized task order."""
+
+    def __init__(self, rng: np.random.Generator | None = None, max_rounds: int = 100_000):
+        self.rng = rng
+        self.max_rounds = max_rounds
+        self.rounds_used = 0
+
+    def run(
+        self,
+        tasks: Iterable[tuple[str, Generator]],
+        on_stall: Callable[[], bool] | None = None,
+    ) -> int:
+        """Drive all task generators to completion; returns rounds used."""
+        states = [_TaskState(name=n, gen=g) for n, g in tasks]
+        # Prime every task to its first wait point.
+        for st in states:
+            self._resume(st)
+        rounds = 0
+        while any(not st.done for st in states):
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise DeadlockError(self._diagnose(states, "round limit exceeded"))
+            order = np.arange(len(states))
+            if self.rng is not None:
+                self.rng.shuffle(order)
+            progressed = False
+            for k in order:
+                st = states[k]
+                if st.done:
+                    continue
+                if st.predicate is None or st.predicate():
+                    self._resume(st)
+                    progressed = True
+            if not progressed:
+                if on_stall is not None and on_stall():
+                    continue
+                raise DeadlockError(self._diagnose(states, "no runnable task"))
+        self.rounds_used = rounds
+        return rounds
+
+    @staticmethod
+    def _resume(st: _TaskState) -> None:
+        try:
+            st.predicate = next(st.gen)
+        except StopIteration:
+            st.done = True
+            st.predicate = None
+
+    @staticmethod
+    def _diagnose(states: list[_TaskState], reason: str) -> str:
+        blocked = [st.name for st in states if not st.done]
+        return f"scheduler deadlock ({reason}); blocked tasks: {blocked}"

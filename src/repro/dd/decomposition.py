@@ -1,0 +1,107 @@
+"""Spatial domains and home-atom assignment.
+
+Domains are uniform slabs of the orthorhombic box (the paper's GPU-resident
+runs do not use dynamic load balancing, so the staggered-grid case never
+occurs — Sec. 2.2); each rank owns the atoms whose wrapped coordinates fall
+inside its half-open box ``[lo, hi)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dd.grid import DDGrid
+from repro.md.system import wrap_positions
+
+
+@dataclass(frozen=True)
+class DomainBounds:
+    """Half-open spatial bounds of one rank's domain."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask of positions inside ``[lo, hi)``."""
+        return np.all((positions >= self.lo) & (positions < self.hi), axis=1)
+
+    @property
+    def extent(self) -> np.ndarray:
+        return self.hi - self.lo
+
+
+@dataclass
+class DomainDecomposition:
+    """A DD grid bound to a concrete box and communication cutoff.
+
+    ``max_pulses`` allows domains thinner than ``r_comm``: dimension ``d``
+    then uses ``ceil(r_comm / extent_d)`` forwarding pulses, as GROMACS does
+    for second-neighbour communication (paper Sec. 2.2 — "up to two pulses
+    per dimension").  A pulse count must stay below the number of domains in
+    its dimension (otherwise data would wrap back to its owner).
+    """
+
+    grid: DDGrid
+    box: np.ndarray
+    r_comm: float
+    max_pulses: int = 1
+
+    def __post_init__(self) -> None:
+        self.box = np.asarray(self.box, dtype=np.float64)
+        if self.box.shape != (3,) or np.any(self.box <= 0):
+            raise ValueError(f"box must be 3 positive lengths, got {self.box}")
+        if self.r_comm <= 0:
+            raise ValueError(f"r_comm must be positive, got {self.r_comm}")
+        if self.max_pulses < 1:
+            raise ValueError(f"max_pulses must be >= 1, got {self.max_pulses}")
+        shape = np.asarray(self.grid.shape, dtype=np.float64)
+        ext = self.box / shape
+        npulses = []
+        for d in range(3):
+            if self.grid.shape[d] == 1:
+                npulses.append(0)
+                continue
+            need = int(np.ceil(self.r_comm / ext[d] - 1e-12))
+            if need > self.max_pulses:
+                raise ValueError(
+                    f"domain extent {ext[d]:.3f} along dim {d} needs {need} "
+                    f"pulses for r_comm={self.r_comm}, but max_pulses="
+                    f"{self.max_pulses} (use a coarser grid or raise max_pulses)"
+                )
+            if need >= self.grid.shape[d]:
+                raise ValueError(
+                    f"dim {d}: {need} pulses over only {self.grid.shape[d]} "
+                    f"domains would wrap halo data back to its owner"
+                )
+            npulses.append(need)
+        self.domain_extent = ext
+        #: Pulses per dimension (0 for undecomposed dimensions).
+        self.npulses = tuple(npulses)
+
+    def bounds_of_rank(self, rank: int) -> DomainBounds:
+        coords = np.asarray(self.grid.coords_of_rank(rank), dtype=np.float64)
+        lo = coords * self.domain_extent
+        hi = lo + self.domain_extent
+        # Close the box edge exactly for the last domain along each dim so
+        # wrapped coordinates equal to box-epsilon are always assigned.
+        top = np.asarray(self.grid.coords_of_rank(rank)) == np.asarray(self.grid.shape) - 1
+        hi = np.where(top, self.box, hi)
+        return DomainBounds(lo=lo, hi=hi)
+
+    def assign_atoms(self, positions: np.ndarray) -> np.ndarray:
+        """Home rank of every atom (positions are wrapped internally)."""
+        wrapped = wrap_positions(np.asarray(positions, dtype=np.float64), self.box)
+        cell = np.floor(wrapped / self.domain_extent).astype(int)
+        cell = np.minimum(cell, np.asarray(self.grid.shape) - 1)
+        nx, ny, _nz = self.grid.shape
+        return ((cell[:, 2] * ny + cell[:, 1]) * nx + cell[:, 0]).astype(np.int64)
+
+    def home_indices(self, positions: np.ndarray) -> list[np.ndarray]:
+        """Per-rank arrays of global atom indices (ascending within a rank)."""
+        owners = self.assign_atoms(positions)
+        order = np.argsort(owners, kind="stable")
+        sorted_owners = owners[order]
+        splits = np.searchsorted(sorted_owners, np.arange(1, self.grid.n_ranks))
+        return [np.sort(part) for part in np.split(order, splits)]

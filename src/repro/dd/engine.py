@@ -1,0 +1,340 @@
+"""The domain-decomposed MD engine.
+
+Runs the same physics as :class:`repro.md.reference.ReferenceSimulator`, but
+distributed over the ranks of a :class:`DomainDecomposition` with halo
+exchange delegated to a pluggable communication backend (reference
+serialized, MPI-style staged, or NVSHMEM-style fused — see
+:mod:`repro.comm`).  Trajectories must match the serial reference to
+floating-point accumulation order; the test suite enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dd.decomposition import DomainDecomposition
+from repro.dd.exchange import (
+    ClusterState,
+    build_cluster,
+    gather_forces,
+    reference_coordinate_exchange,
+    reference_force_exchange,
+)
+from repro.dd.grid import DDGrid, choose_grid
+from repro.md.cells import CellList
+from repro.md.forcefield import ForceField
+from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
+from repro.md.nonbonded import NonbondedKernel
+from repro.md.reference import StepEnergies
+from repro.md.system import MDSystem
+
+
+@dataclass
+class RankWorkload:
+    """Per-rank work statistics for one neighbour-search interval.
+
+    These feed the performance model: local pairs drive the local non-bonded
+    kernel, non-local pairs the non-local kernel, and the pulse sizes the
+    communication volumes.
+    """
+
+    rank: int
+    n_home: int
+    n_halo: int
+    n_pairs_local: int
+    n_pairs_nonlocal: int
+    pulse_send_sizes: list[int]
+
+
+class _ReferenceBackend:
+    """Default backend: the synchronous serialized reference exchange."""
+
+    name = "reference"
+
+    def bind(self, cluster: ClusterState) -> None:
+        pass
+
+    def exchange_coordinates(self, cluster: ClusterState) -> None:
+        reference_coordinate_exchange(cluster)
+
+    def exchange_forces(self, cluster: ClusterState) -> None:
+        reference_force_exchange(cluster)
+
+
+@dataclass
+class DDSimulator:
+    """Multi-rank MD driver over an in-process cluster."""
+
+    system: MDSystem
+    ff: ForceField
+    n_ranks: int = 0
+    grid: DDGrid | None = None
+    backend: object | None = None
+    nstlist: int = 20
+    buffer: float = 0.1
+    dt: float = 0.002
+    trim_corners: bool = False
+    max_pulses: int = 1
+    #: "rf" (reaction field) or "pme" (erfc real space on the PP ranks +
+    #: SPME reciprocal through a PP/PME rank-specialized session).
+    coulomb: str = "rf"
+    pme_grid: tuple[int, int, int] | None = None
+    n_pme_ranks: int = 0
+    topology: "object | None" = None
+    step_count: int = 0
+    energies: list[StepEnergies] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        r_comm = self.ff.cutoff + self.buffer
+        if self.grid is None:
+            if self.n_ranks < 1:
+                raise ValueError("provide either grid or a positive n_ranks")
+            self.grid = choose_grid(
+                self.n_ranks, self.system.box, r_comm, max_pulses=self.max_pulses
+            )
+        self.n_ranks = self.grid.n_ranks
+        self.dd = DomainDecomposition(
+            grid=self.grid, box=self.system.box, r_comm=r_comm,
+            max_pulses=self.max_pulses,
+        )
+        self.backend = self.backend or _ReferenceBackend()
+        self._pme_session = None
+        if self.coulomb == "pme":
+            from repro.md.reference import _default_pme_grid
+            from repro.pme.decomposition import PmePpSession
+            from repro.pme.spme import optimal_beta
+
+            beta = optimal_beta(self.ff.cutoff)
+            grid = self.pme_grid or _default_pme_grid(self.system.box)
+            n_pme = self.n_pme_ranks or max(1, self.n_ranks // 4)
+            self._pme_session = PmePpSession(
+                n_pp=self.n_ranks,
+                n_pme=n_pme,
+                box=self.system.box,
+                grid=grid,
+                beta=beta,
+                max_atoms_per_rank=int(2.0 * self.system.n_atoms / self.n_ranks) + 64,
+            )
+            self._kernel = NonbondedKernel(self.ff, coulomb="ewald", ewald_beta=beta)
+        elif self.coulomb == "rf":
+            self._kernel = NonbondedKernel(self.ff)
+        else:
+            raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
+        self._integrator = LeapFrogIntegrator(dt=self.dt)
+        self._periodic = np.array([self.grid.shape[d] == 1 for d in range(3)])
+        self.cluster: ClusterState | None = None
+        self._pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        self._ns_positions: np.ndarray | None = None
+        self.workloads: list[RankWorkload] = []
+
+    # -- neighbour search ---------------------------------------------------
+
+    def _rank_pairs(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rank-local pair search over home + halo with the zone rule."""
+        plan = self.cluster.plan.ranks[rank]
+        pos = self.cluster.local_pos[rank].astype(np.float64)
+        r_list = self.dd.r_comm
+        lo = np.where(self._periodic, 0.0, pos.min(axis=0) - 1e-9)
+        hi = np.where(self._periodic, self.dd.box, pos.max(axis=0) + 1e-9)
+        hi = np.maximum(hi, lo + r_list)
+        cells = CellList(lo=lo, hi=hi, cutoff=r_list, periodic=self._periodic)
+        i, j = cells.pairs_within(pos, r_list)
+        # Eighth-shell assignment: compute the pair here iff the elementwise
+        # minimum of the two zone shifts is zero (both atoms visible, and no
+        # other rank sees the pair with this property).
+        zs = plan.zone_shift
+        keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
+        return i[keep], j[keep]
+
+    def neighbor_search(self) -> None:
+        """Full redistribution: wrap, reassign atoms, rebuild plan and lists."""
+        self.cluster = build_cluster(
+            self.system, self.dd, trim_corners=self.trim_corners
+        )
+        self._pairs = [self._rank_pairs(r) for r in range(self.n_ranks)]
+        self._assign_bonded()
+        self._ns_positions = self.system.positions.copy()
+        self.workloads = []
+        for r, plan in enumerate(self.cluster.plan.ranks):
+            i, j = self._pairs[r]
+            local = (i < plan.n_home) & (j < plan.n_home)
+            self.workloads.append(
+                RankWorkload(
+                    rank=r,
+                    n_home=plan.n_home,
+                    n_halo=plan.n_halo,
+                    n_pairs_local=int(np.count_nonzero(local)),
+                    n_pairs_nonlocal=int(i.size - np.count_nonzero(local)),
+                    pulse_send_sizes=[p.send_size for p in plan.pulses],
+                )
+            )
+
+    def _assign_bonded(self) -> None:
+        """Rank-local bonded lists by the zone rule (exactly-once assignment).
+
+        A bonded interaction is computed on the rank where every member is
+        visible and the elementwise minimum of the members' zone shifts is
+        zero — the same rule as non-bonded pairs, valid because all members
+        lie within the communication cutoff of each other.
+        """
+        self._bonded = []
+        if self.topology is None:
+            return
+        top = self.topology
+        n = self.system.n_atoms
+        for rp in self.cluster.plan.ranks:
+            g2l = np.full(n, -1, dtype=np.int64)
+            g2l[rp.global_ids] = np.arange(rp.n_local)
+            zs = rp.zone_shift
+
+            def claim(members):
+                loc = g2l[members]
+                ok = np.all(loc >= 0, axis=1)
+                if np.any(ok):
+                    sh = np.stack([zs[loc[ok][:, c]] for c in range(members.shape[1])], axis=0)
+                    ok2 = np.all(sh.min(axis=0) == 0, axis=1)
+                    full = np.zeros(members.shape[0], dtype=bool)
+                    full[np.nonzero(ok)[0][ok2]] = True
+                    return full, loc
+                return np.zeros(members.shape[0], dtype=bool), loc
+
+            b_ok, b_loc = claim(top.bonds)
+            a_ok, a_loc = claim(top.angles)
+            self._bonded.append(
+                {
+                    "bonds": b_loc[b_ok],
+                    "bond_r0": top.bond_r0[b_ok],
+                    "bond_k": top.bond_k[b_ok],
+                    "angles": a_loc[a_ok],
+                    "angle_theta0": top.angle_theta0[a_ok],
+                    "angle_k": top.angle_k[a_ok],
+                    "mol": top.molecule_of[rp.global_ids],
+                }
+            )
+
+    def _needs_ns(self) -> bool:
+        if self.cluster is None or self.step_count % self.nstlist == 0:
+            return True
+        disp = self.system.positions - self._ns_positions
+        disp = disp - np.rint(disp / self.system.box) * self.system.box
+        max_disp = float(np.sqrt(np.max(np.einsum("ij,ij->i", disp, disp))))
+        return max_disp > 0.5 * self.buffer
+
+    # -- forces ---------------------------------------------------------------
+
+    def compute_forces(self) -> tuple[float, float, float]:
+        """Local + non-local forces on every rank, then the force halo.
+
+        Returns globally summed (E_lj, E_coulomb); each pair contributes on
+        exactly one rank, so the plain sum is the total.
+        """
+        cluster = self.cluster
+        e_lj_total = 0.0
+        e_coul_total = 0.0
+        e_bonded_total = 0.0
+        for r in range(self.n_ranks):
+            cluster.local_forces[r][:] = 0.0
+            i, j = self._pairs[r]
+            if self.topology is not None:
+                from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
+
+                bd = self._bonded[r]
+                mol = bd["mol"]
+                excl = mol[i] == mol[j]
+                _, e_corr = exclusion_correction(
+                    cluster.local_pos[r], i[excl], j[excl],
+                    cluster.local_charges[r], self.ff,
+                    coulomb=self._kernel.coulomb, ewald_beta=self._kernel.ewald_beta,
+                    box=self.dd.box, periodic=self._periodic,
+                    out_forces=cluster.local_forces[r],
+                )
+                e_coul_total += e_corr
+                i, j = i[~excl], j[~excl]
+                _, e_b = bond_forces(
+                    cluster.local_pos[r], bd["bonds"], bd["bond_r0"], bd["bond_k"],
+                    box=self.dd.box, periodic=self._periodic,
+                    out_forces=cluster.local_forces[r],
+                )
+                _, e_a = angle_forces(
+                    cluster.local_pos[r], bd["angles"], bd["angle_theta0"], bd["angle_k"],
+                    box=self.dd.box, periodic=self._periodic,
+                    out_forces=cluster.local_forces[r],
+                )
+                e_bonded_total += e_b + e_a
+            _, e_lj, e_coul = self._kernel.compute(
+                cluster.local_pos[r],
+                i,
+                j,
+                cluster.local_types[r],
+                cluster.local_charges[r],
+                box=self.dd.box,
+                periodic=self._periodic,
+                out_forces=cluster.local_forces[r],
+            )
+            e_lj_total += e_lj
+            e_coul_total += e_coul
+        self.backend.exchange_forces(cluster)
+        if self._pme_session is not None:
+            # PP -> PME -> PP round trip for the reciprocal-space part
+            # (home atoms only; the mesh term needs no halo).
+            pos_per_pp = []
+            q_per_pp = []
+            for rp in cluster.plan.ranks:
+                nh = rp.n_home
+                pos_per_pp.append(cluster.local_pos[rp.rank][:nh].astype(np.float64))
+                q_per_pp.append(cluster.local_charges[rp.rank][:nh])
+            e_rec, f_parts = self._pme_session.compute(pos_per_pp, q_per_pp)
+            for rp, f_rec in zip(cluster.plan.ranks, f_parts):
+                cluster.local_forces[rp.rank][: rp.n_home] += f_rec.astype(
+                    cluster.local_forces[rp.rank].dtype
+                )
+            e_coul_total += e_rec
+        return e_lj_total, e_coul_total, e_bonded_total
+
+    def gathered_forces(self) -> np.ndarray:
+        """Global force array (for verification against the reference)."""
+        return gather_forces(self.cluster)
+
+    # -- stepping ---------------------------------------------------------------
+
+    def prepare_step(self) -> None:
+        """Neighbour search or coordinate halo, as the lifecycle demands."""
+        if self._needs_ns():
+            self.neighbor_search()
+            self.backend.bind(self.cluster)
+        self.backend.exchange_coordinates(self.cluster)
+
+    def step(self) -> StepEnergies:
+        """One complete MD step across all ranks."""
+        self.prepare_step()
+        e_lj, e_coul, e_bonded = self.compute_forces()
+        cluster = self.cluster
+        kin = 0.0
+        for r, plan in enumerate(cluster.plan.ranks):
+            nh = plan.n_home
+            x, v = self._integrator.step(
+                cluster.local_pos[r][:nh],
+                cluster.local_vel[r],
+                cluster.local_forces[r][:nh],
+                cluster.local_masses[r],
+            )
+            cluster.local_pos[r][:nh] = x
+            cluster.local_vel[r] = v
+            home_ids = plan.global_ids[:nh]
+            self.system.positions[home_ids] = x
+            self.system.velocities[home_ids] = v
+            self.system.forces[home_ids] = cluster.local_forces[r][:nh]
+            kin += kinetic_energy(v, cluster.local_masses[r])
+        rec = StepEnergies(
+            step=self.step_count, lj=e_lj, coulomb=e_coul, kinetic=kin, bonded=e_bonded
+        )
+        self.energies.append(rec)
+        self.step_count += 1
+        return rec
+
+    def run(self, n_steps: int) -> list[StepEnergies]:
+        if n_steps < 0:
+            raise ValueError("n_steps must be non-negative")
+        return [self.step() for _ in range(n_steps)]

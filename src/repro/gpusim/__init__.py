@@ -1,0 +1,34 @@
+"""GPU/cluster timing simulator.
+
+Models one representative rank of a homogeneous MD step as a task graph over
+FIFO resources (CPU thread, GPU streams, copy engines, NIC) — exactly the
+abstraction behind the paper's Fig. 1 / Fig. 2 schedule diagrams:
+
+* a *resource* executes its tasks in enqueue order (a CUDA stream / the CPU
+  program order);
+* a task additionally waits for its dependencies (CUDA events, signals,
+  message arrivals), optionally with a lag (wire time of a mirrored peer
+  event — valid because the benchmark systems are homogeneous, so peers'
+  timelines are statistically identical to ours).
+
+:mod:`repro.gpusim.trace` recomputes the paper's Sec. 6.3 device-side
+metrics (Local work, Non-local work, Non-overlap, Time per step) from the
+evaluated graph, and :mod:`repro.gpusim.timeline` renders ASCII Gantt charts
+equivalent to Figs. 1-2.
+"""
+
+from repro.gpusim.critical import CriticalPath, CriticalSegment, critical_path
+from repro.gpusim.graph import Task, TaskGraph
+from repro.gpusim.timeline import render_timeline
+from repro.gpusim.trace import StepTimings, extract_timings
+
+__all__ = [
+    "CriticalPath",
+    "CriticalSegment",
+    "StepTimings",
+    "Task",
+    "TaskGraph",
+    "critical_path",
+    "extract_timings",
+    "render_timeline",
+]

@@ -1,0 +1,130 @@
+"""Critical-path analysis of an evaluated schedule.
+
+The paper's contribution C4 includes "a detailed critical path and overlap
+analysis using GPU cycle timers"; this module provides the analytic
+counterpart for simulated schedules: walk back from a terminal task through
+whichever constraint *bound* each start time (a dependency, with its lag, or
+the preceding task on the same FIFO resource) and attribute the step time to
+task kinds (compute kernels, packs, transfers, CPU launches, CPU waits,
+idle gaps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.graph import Task, TaskGraph
+
+#: Tolerance for "this constraint determined the start time".
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class CriticalSegment:
+    """One task on the critical path, plus the idle gap that preceded it."""
+
+    name: str
+    kind: str
+    resource: str
+    duration: float
+    gap_before: float  # time on the path not covered by any task
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The binding chain ending at a terminal task."""
+
+    segments: tuple[CriticalSegment, ...]
+    start: float
+    end: float
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def by_kind(self) -> dict[str, float]:
+        """Time on the path attributed to each task kind (+ 'gap')."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.duration
+            if seg.gap_before > _EPS:
+                out["gap"] = out.get("gap", 0.0) + seg.gap_before
+        return out
+
+    def names(self) -> list[str]:
+        return [s.name for s in self.segments]
+
+    def render(self) -> str:
+        lines = [f"critical path: {self.length:.1f} us ({len(self.segments)} tasks)"]
+        for seg in self.segments:
+            gap = f"  (+{seg.gap_before:.1f} idle)" if seg.gap_before > 0.05 else ""
+            lines.append(
+                f"  {seg.name:<40s} {seg.kind:<7s} {seg.duration:7.2f} us{gap}"
+            )
+        shares = self.by_kind()
+        total = sum(shares.values()) or 1.0
+        lines.append(
+            "breakdown: "
+            + ", ".join(f"{k} {v:.1f}us ({v / total:.0%})" for k, v in sorted(shares.items()))
+        )
+        return "\n".join(lines)
+
+
+def _binding_predecessor(graph: TaskGraph, task: Task) -> Task | None:
+    """The constraint that determined ``task.start`` (None if it started at 0
+    or its window has slack)."""
+    # Dependencies (with lags) take precedence when they bind exactly.
+    best: Task | None = None
+    for d in task.deps:
+        dep = graph.tasks[d]
+        if abs(dep.end + task.lags.get(d, 0.0) - task.start) < _EPS:
+            if best is None or dep.end > best.end:
+                best = dep
+    if best is not None:
+        return best
+    # Otherwise the previous task on the same FIFO resource.
+    prev = None
+    for t in graph.by_resource().get(task.resource, []):
+        if t.end <= task.start + _EPS and t is not task:
+            if prev is None or t.end > prev.end:
+                prev = t
+    if prev is not None and abs(prev.end - task.start) < _EPS:
+        return prev
+    # Slack before this task: walk to whatever *latest* constraint exists.
+    candidates = [graph.tasks[d] for d in task.deps]
+    if prev is not None:
+        candidates.append(prev)
+    if not candidates:
+        return None
+    return max(candidates, key=lambda t: t.end)
+
+
+def critical_path(graph: TaskGraph, terminal: str | None = None) -> CriticalPath:
+    """Trace the binding chain back from ``terminal`` (default: last task)."""
+    graph.evaluate()
+    if terminal is None:
+        terminal = max(graph.tasks.values(), key=lambda t: t.end).name
+    task = graph.tasks[terminal]
+    chain: list[Task] = [task]
+    while True:
+        pred = _binding_predecessor(graph, chain[-1])
+        if pred is None:
+            break
+        chain.append(pred)
+        if pred.start <= _EPS:
+            break
+    chain.reverse()
+    segments = []
+    for k, t in enumerate(chain):
+        prev_end = chain[k - 1].end if k else chain[0].start
+        gap = max(0.0, t.start - prev_end)
+        segments.append(
+            CriticalSegment(
+                name=t.name,
+                kind=t.kind,
+                resource=t.resource,
+                duration=t.duration,
+                gap_before=gap,
+            )
+        )
+    return CriticalPath(segments=tuple(segments), start=chain[0].start, end=chain[-1].end)

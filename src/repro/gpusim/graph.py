@@ -1,0 +1,142 @@
+"""Deterministic task-graph evaluation over FIFO resources.
+
+The core scheduling rule is the CUDA execution model in miniature:
+
+    start(t) = max( end(previous task on t's resource),
+                    max over deps d of end(d) + lag(d) )
+    end(t)   = start(t) + duration(t)
+
+Resources are FIFO: tasks run in the order they were enqueued, which is how
+CUDA streams and a single CPU thread behave.  Cross-resource dependencies
+are CUDA events / NVSHMEM signals / message arrivals; a dependency *lag*
+models wire time for events mirrored from a symmetric peer (our peers run
+the same schedule, so "peer's pulse-k send completed" is our own send-done
+time plus the transfer latency).
+
+Tasks must be added after their dependencies (program order), which also
+guarantees acyclicity — a deadlocking schedule cannot be expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Task kinds, used by trace extraction and timeline rendering.
+KINDS = (
+    "kernel",  # GPU compute kernel
+    "pack",  # GPU pack/unpack kernel
+    "comm",  # data transfer (link/NIC/copy-engine occupancy)
+    "launch",  # CPU launch API call
+    "sync",  # CPU blocking wait (event sync / MPI wait)
+    "host",  # other CPU work
+)
+
+
+@dataclass
+class Task:
+    """One scheduled operation."""
+
+    name: str
+    resource: str
+    duration: float  # microseconds
+    kind: str = "kernel"
+    deps: tuple[str, ...] = ()
+    lags: dict[str, float] = field(default_factory=dict)
+    start: float = 0.0
+    end: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"task '{self.name}': negative duration {self.duration}")
+        if self.kind not in KINDS:
+            raise ValueError(f"task '{self.name}': unknown kind '{self.kind}'")
+
+
+class TaskGraph:
+    """Builder + evaluator for one time-step's schedule."""
+
+    def __init__(self) -> None:
+        self.tasks: dict[str, Task] = {}
+        self._order: list[str] = []
+        self._evaluated = False
+
+    def add(
+        self,
+        name: str,
+        resource: str,
+        duration: float,
+        deps: tuple[str, ...] | list[str] = (),
+        kind: str = "kernel",
+        lags: dict[str, float] | None = None,
+    ) -> Task:
+        """Enqueue a task; all ``deps`` must already exist."""
+        if name in self.tasks:
+            raise ValueError(f"duplicate task name '{name}'")
+        for d in deps:
+            if d not in self.tasks:
+                raise ValueError(f"task '{name}' depends on unknown task '{d}'")
+        task = Task(
+            name=name,
+            resource=resource,
+            duration=float(duration),
+            kind=kind,
+            deps=tuple(deps),
+            lags=dict(lags or {}),
+        )
+        self.tasks[name] = task
+        self._order.append(name)
+        self._evaluated = False
+        return task
+
+    def evaluate(self) -> None:
+        """Assign start/end to every task (single forward pass)."""
+        resource_end: dict[str, float] = {}
+        for name in self._order:
+            t = self.tasks[name]
+            start = resource_end.get(t.resource, 0.0)
+            for d in t.deps:
+                dep_end = self.tasks[d].end + t.lags.get(d, 0.0)
+                start = max(start, dep_end)
+            t.start = start
+            t.end = start + t.duration
+            resource_end[t.resource] = t.end
+        self._evaluated = True
+
+    # -- queries -------------------------------------------------------------
+
+    def _require_evaluated(self) -> None:
+        if not self._evaluated:
+            self.evaluate()
+
+    def end(self, name: str) -> float:
+        self._require_evaluated()
+        return self.tasks[name].end
+
+    def makespan(self) -> float:
+        """End of the last task — the step's critical-path time."""
+        self._require_evaluated()
+        return max((t.end for t in self.tasks.values()), default=0.0)
+
+    def by_resource(self) -> dict[str, list[Task]]:
+        self._require_evaluated()
+        out: dict[str, list[Task]] = {}
+        for name in self._order:
+            t = self.tasks[name]
+            out.setdefault(t.resource, []).append(t)
+        return out
+
+    def matching(self, prefix: str) -> list[Task]:
+        """Tasks whose name starts with ``prefix``, in enqueue order."""
+        self._require_evaluated()
+        return [self.tasks[n] for n in self._order if n.startswith(prefix)]
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupied time on a resource (tasks never overlap on one)."""
+        self._require_evaluated()
+        return sum(t.duration for t in self.tasks.values() if t.resource == resource)
+
+    def overlap(self, a: str, b: str) -> float:
+        """Temporal overlap of two tasks' [start, end) windows."""
+        self._require_evaluated()
+        ta, tb = self.tasks[a], self.tasks[b]
+        return max(0.0, min(ta.end, tb.end) - max(ta.start, tb.start))

@@ -1,0 +1,81 @@
+"""Device-side timing extraction (the paper's Sec. 6.3 instrumentation).
+
+The paper reads ``%%globaltimer`` at kernel start/end and derives:
+
+* **Local work** — start to end of the local non-bonded kernel;
+* **Non-local work** — start of the first pack to end of the last unpack
+  (for the fused NVSHMEM path: the fused kernels' span);
+* **Non-overlap** — end of local non-bonded to end of last unpack, clamped
+  at zero: the part of communication exposed beyond local compute;
+* **Time per step** — full step critical path excluding the per-200-step
+  CPU tasks (DD repartitioning / neighbour search), which our per-step graph
+  never contains.
+
+We compute the same quantities from the evaluated task graph, using task
+name conventions shared by the schedule builders in :mod:`repro.sched`:
+``local_nb`` for the local kernel and the ``nonlocal:`` prefix for
+everything between first pack and last unpack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.graph import TaskGraph
+
+#: Name of the local non-bonded kernel task in every schedule.
+LOCAL_NB = "local_nb"
+
+#: Prefix marking tasks that belong to the non-local span.
+NONLOCAL_PREFIX = "nonlocal:"
+
+
+@dataclass(frozen=True)
+class StepTimings:
+    """Sec. 6.3 metrics for one step, microseconds."""
+
+    local_work: float
+    nonlocal_work: float
+    non_overlap: float
+    time_per_step: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "local_work_us": self.local_work,
+            "nonlocal_work_us": self.nonlocal_work,
+            "non_overlap_us": self.non_overlap,
+            "time_per_step_us": self.time_per_step,
+        }
+
+
+def extract_timings(
+    graph: TaskGraph,
+    prefix: str = "",
+    time_per_step: float | None = None,
+) -> StepTimings:
+    """Compute the paper's device-side metrics from an evaluated graph.
+
+    ``prefix`` selects one step of a chained multi-step schedule (e.g.
+    ``"s2:"``); ``time_per_step`` overrides the makespan with the
+    steady-state step period measured by the driver.
+    """
+    graph.evaluate()
+    local = graph.tasks.get(prefix + LOCAL_NB)
+    if local is None:
+        raise KeyError(f"schedule has no '{prefix}{LOCAL_NB}' task")
+    nonlocal_tasks = graph.matching(prefix + NONLOCAL_PREFIX)
+    if not nonlocal_tasks:
+        raise KeyError(f"schedule has no '{prefix}{NONLOCAL_PREFIX}*' tasks")
+    # GPU-side span only: CPU launch/sync tasks are not device timestamps.
+    device = [t for t in nonlocal_tasks if t.kind in ("kernel", "pack", "comm")]
+    first = min(t.start for t in device)
+    last = max(t.end for t in device)
+    local_work = local.end - local.start
+    nonlocal_work = last - first
+    non_overlap = max(0.0, last - local.end)
+    return StepTimings(
+        local_work=local_work,
+        nonlocal_work=nonlocal_work,
+        non_overlap=non_overlap,
+        time_per_step=graph.makespan() if time_per_step is None else time_per_step,
+    )

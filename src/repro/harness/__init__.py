@@ -1,0 +1,14 @@
+"""Experiment harness: registry of every paper figure + ablation, a runner
+that regenerates them, and the EXPERIMENTS.md report writer."""
+
+from repro.harness.experiments import EXPERIMENTS, Experiment, get_experiment
+from repro.harness.runner import run_all, run_experiment, write_experiments_md
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+    "write_experiments_md",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.harness`` regenerates every figure and EXPERIMENTS.md."""
+
+from repro.harness.runner import main
+
+main()

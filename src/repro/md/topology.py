@@ -1,0 +1,215 @@
+"""Molecular topology: bonds, angles, and exclusions.
+
+The paper's schedules include a "Bonded F" kernel on the non-local stream —
+bonded interactions can span domain boundaries, which is why it runs after
+the coordinate halo.  This module provides the topology container plus a
+molecular variant of the grappa generator: water-like triatomics (O-H bonds,
+H-O-H angle) and ethanol-like CE3 chains, placed as intact molecules so the
+bond geometry is sane.
+
+Intramolecular pairs are *excluded* from the plain non-bonded interaction
+(their electrostatics is corrected separately; see
+:func:`repro.md.bonded.exclusion_correction`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.forcefield import ForceField, default_forcefield
+from repro.md.integrator import BOLTZ
+from repro.md.system import MDSystem
+from repro.util.rng import make_rng
+
+
+@dataclass
+class Topology:
+    """Bonded interactions and exclusion structure over global atom indices."""
+
+    n_atoms: int
+    bonds: np.ndarray  # (nb, 2) int64
+    bond_r0: np.ndarray  # (nb,) equilibrium length, nm
+    bond_k: np.ndarray  # (nb,) force constant, kJ/mol/nm^2
+    angles: np.ndarray  # (na, 3) int64, vertex in the middle
+    angle_theta0: np.ndarray  # (na,) equilibrium angle, rad
+    angle_k: np.ndarray  # (na,) kJ/mol/rad^2
+    molecule_of: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.bonds = np.asarray(self.bonds, dtype=np.int64).reshape(-1, 2)
+        self.angles = np.asarray(self.angles, dtype=np.int64).reshape(-1, 3)
+        for name in ("bond_r0", "bond_k", "angle_theta0", "angle_k"):
+            setattr(self, name, np.asarray(getattr(self, name), dtype=np.float64))
+        if self.bond_r0.shape[0] != self.bonds.shape[0]:
+            raise ValueError("bond parameter arrays must match the bond count")
+        if self.angle_theta0.shape[0] != self.angles.shape[0]:
+            raise ValueError("angle parameter arrays must match the angle count")
+        if self.bonds.size and self.bonds.max() >= self.n_atoms:
+            raise ValueError("bond index out of range")
+        if self.angles.size and self.angles.max() >= self.n_atoms:
+            raise ValueError("angle index out of range")
+        if self.molecule_of is None:
+            self.molecule_of = self._derive_molecules()
+        self.molecule_of = np.asarray(self.molecule_of, dtype=np.int64)
+
+    def _derive_molecules(self) -> np.ndarray:
+        """Connected components of the bond graph (isolated atoms get their
+        own molecule id)."""
+        parent = np.arange(self.n_atoms)
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        for a, b in self.bonds:
+            ra, rb = find(int(a)), find(int(b))
+            if ra != rb:
+                parent[ra] = rb
+        roots = np.array([find(i) for i in range(self.n_atoms)])
+        _, mol = np.unique(roots, return_inverse=True)
+        return mol
+
+    @property
+    def n_bonds(self) -> int:
+        return int(self.bonds.shape[0])
+
+    @property
+    def n_angles(self) -> int:
+        return int(self.angles.shape[0])
+
+    def exclusion_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All intramolecular pairs (i < j) excluded from plain non-bonded.
+
+        For the small molecules here every intramolecular pair is excluded
+        (1-2 and 1-3 neighbours), the convention for rigid 3-site models.
+        """
+        out_i, out_j = [], []
+        order = np.argsort(self.molecule_of, kind="stable")
+        mols = self.molecule_of[order]
+        bounds = np.searchsorted(mols, np.arange(mols.max() + 2 if mols.size else 1))
+        for m in range(len(bounds) - 1):
+            members = order[bounds[m] : bounds[m + 1]]
+            if members.size < 2:
+                continue
+            a, b = np.triu_indices(members.size, k=1)
+            out_i.append(members[a])
+            out_j.append(members[b])
+        if not out_i:
+            return np.empty(0, np.int64), np.empty(0, np.int64)
+        i = np.concatenate(out_i)
+        j = np.concatenate(out_j)
+        lo = np.minimum(i, j)
+        hi = np.maximum(i, j)
+        return lo.astype(np.int64), hi.astype(np.int64)
+
+
+#: Geometry of the water-like triatomic: O-H length and H-O-H angle.
+WATER_OH = 0.1  # nm
+WATER_ANGLE = np.deg2rad(104.5)
+WATER_K_BOND = 40_000.0  # kJ/mol/nm^2 (stiff but integrable at dt=1 fs)
+WATER_K_ANGLE = 400.0  # kJ/mol/rad^2
+
+#: Ethanol-like CE trimer: a short bent chain of apolar sites.
+CE_BOND = 0.15
+CE_ANGLE = np.deg2rad(112.0)
+
+
+def make_molecular_grappa_system(
+    n_molecules: int,
+    seed: int = 2025,
+    temperature: float = 300.0,
+    ff: ForceField | None = None,
+    ethanol_fraction: float = 0.125,
+    dtype: np.dtype | type = np.float64,
+) -> tuple[MDSystem, Topology]:
+    """Grappa-like fluid of intact 3-site molecules with a topology.
+
+    Molecules sit on a jittered lattice; the density is kept moderate
+    (~15 molecules/nm^3, roughly half of water) because these 3-site models
+    carry full LJ cores on every site and pack like small trimers, not like
+    real water — at higher densities the initial configuration overlaps.
+    Returns the system and its topology.
+    """
+    if n_molecules < 1:
+        raise ValueError("need at least one molecule")
+    ff = ff or default_forcefield()
+    rng = make_rng(seed)
+    n_atoms = 3 * n_molecules
+    mol_density = 15.0  # molecules / nm^3 (see docstring)
+    box_len = float((n_molecules / mol_density) ** (1.0 / 3.0))
+    box = np.full(3, box_len)
+
+    n_side = int(np.ceil(n_molecules ** (1.0 / 3.0)))
+    spacing = box_len / n_side
+    sites = rng.choice(n_side**3, size=n_molecules, replace=False)
+    centers = np.empty((n_molecules, 3))
+    centers[:, 0] = sites // (n_side * n_side)
+    centers[:, 1] = (sites // n_side) % n_side
+    centers[:, 2] = sites % n_side
+    centers = (centers + 0.5) * spacing
+    centers += rng.uniform(-0.08 * spacing, 0.08 * spacing, size=centers.shape)
+
+    is_ce = rng.random(n_molecules) < ethanol_fraction
+    positions = np.empty((n_atoms, 3))
+    type_ids = np.empty(n_atoms, dtype=np.int32)
+    bonds, bond_r0, bond_k = [], [], []
+    angles, angle_t0, angle_k = [], [], []
+
+    # Random orthonormal frames for molecular orientations.
+    axes1 = rng.normal(size=(n_molecules, 3))
+    axes1 /= np.linalg.norm(axes1, axis=1, keepdims=True)
+    helper = rng.normal(size=(n_molecules, 3))
+    axes2 = np.cross(axes1, helper)
+    axes2 /= np.linalg.norm(axes2, axis=1, keepdims=True)
+
+    for m in range(n_molecules):
+        base = 3 * m
+        c = centers[m]
+        u, v = axes1[m], axes2[m]
+        if is_ce[m]:
+            r0, half = CE_BOND, 0.5 * CE_ANGLE
+            type_ids[base : base + 3] = 2
+            kb, ka, t0 = WATER_K_BOND / 4, WATER_K_ANGLE, CE_ANGLE
+        else:
+            r0, half = WATER_OH, 0.5 * WATER_ANGLE
+            type_ids[base] = 0
+            type_ids[base + 1 : base + 3] = 1
+            kb, ka, t0 = WATER_K_BOND, WATER_K_ANGLE, WATER_ANGLE
+        positions[base] = c
+        positions[base + 1] = c + r0 * (np.cos(half) * u + np.sin(half) * v)
+        positions[base + 2] = c + r0 * (np.cos(half) * u - np.sin(half) * v)
+        bonds += [(base, base + 1), (base, base + 2)]
+        bond_r0 += [r0, r0]
+        bond_k += [kb, kb]
+        angles.append((base + 1, base, base + 2))
+        angle_t0.append(t0)
+        angle_k.append(ka)
+
+    positions = np.mod(positions, box_len)
+    charges = ff.charges_for(type_ids)
+    masses = ff.masses_for(type_ids)
+    sigma_v = np.sqrt(BOLTZ * temperature / masses)[:, None]
+    velocities = rng.normal(size=(n_atoms, 3)) * sigma_v
+
+    system = MDSystem(
+        box=box,
+        positions=positions.astype(dtype),
+        velocities=velocities.astype(dtype),
+        type_ids=type_ids,
+        charges=charges,
+        masses=masses,
+    )
+    topology = Topology(
+        n_atoms=n_atoms,
+        bonds=np.array(bonds),
+        bond_r0=np.array(bond_r0),
+        bond_k=np.array(bond_k),
+        angles=np.array(angles),
+        angle_theta0=np.array(angle_t0),
+        angle_k=np.array(angle_k),
+    )
+    return system, topology

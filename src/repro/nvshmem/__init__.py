@@ -1,0 +1,35 @@
+"""In-process PGAS runtime modelling the NVSHMEM API surface the paper uses.
+
+Every PE owns a set of *symmetric* buffers (same name/shape on all PEs,
+allocated collectively — the constraint that clashes with GROMACS' PP/PME
+rank specialization, Sec. 5.3).  Remote access follows NVSHMEM semantics:
+
+* :meth:`NvshmemRuntime.ptr` — ``nvshmem_ptr``: a direct load/store view of a
+  peer's buffer when the peer is NVLink-reachable (same node in the
+  topology), ``None`` otherwise;
+* :meth:`NvshmemRuntime.put_signal_nbi` — ``nvshmem_float_put_signal_nbi``:
+  non-blocking put whose signal update is delivered only after the data;
+* signal objects with release/acquire stores and waits
+  (``system_release_store`` / ``acquire_wait`` in the paper's Algorithm 5);
+* ``quiet``/``fence`` and a delayed-delivery mode that emulates NIC
+  asynchrony so tests can interleave deliveries arbitrarily.
+"""
+
+from repro.nvshmem.heap import SymmetricBuffer, SymmetricHeap
+from repro.nvshmem.runtime import NodeTopology, NvshmemRuntime, PendingOp
+from repro.nvshmem.signals import SignalArray, SignalError
+from repro.nvshmem.teams import NvshmemTeam, TeamError, split_pp_pme, team_split
+
+__all__ = [
+    "NodeTopology",
+    "NvshmemRuntime",
+    "NvshmemTeam",
+    "PendingOp",
+    "SignalArray",
+    "SignalError",
+    "SymmetricBuffer",
+    "SymmetricHeap",
+    "TeamError",
+    "split_pp_pme",
+    "team_split",
+]

@@ -1,0 +1,128 @@
+"""Symmetric heap: collectively allocated, per-PE mirrored buffers.
+
+NVSHMEM requires every symmetric allocation to be performed by *all* PEs
+with identical sizes (``COMM_WORLD``-wide).  The paper hits this constraint
+head-on: PP-only destination buffers would force redundant allocations on
+PME ranks (Sec. 5.3).  We model the rule strictly — an allocation is only
+usable once every PE has joined it — so the reproduction exhibits the same
+failure mode (see ``tests/test_nvshmem_runtime.py``).
+
+``nvshmemx_buffer_register`` is also modelled: a *source* buffer may be a
+registered non-symmetric array, matching the paper's note that only the
+destination of a put must be symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SymmetricAllocationError(RuntimeError):
+    """Violation of the collective symmetric-allocation contract."""
+
+
+@dataclass
+class SymmetricBuffer:
+    """One named symmetric allocation: an identical array on every PE."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+    arrays: list[np.ndarray]
+    joined: list[bool]
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.arrays)
+
+    @property
+    def complete(self) -> bool:
+        """True once every PE has performed the collective allocation."""
+        return all(self.joined)
+
+    def on(self, pe: int) -> np.ndarray:
+        """The local array of PE ``pe`` (its own symmetric address)."""
+        if not self.complete:
+            missing = [i for i, j in enumerate(self.joined) if not j]
+            raise SymmetricAllocationError(
+                f"symmetric buffer '{self.name}' not yet allocated on PEs "
+                f"{missing}: NVSHMEM allocations are collective over all PEs"
+            )
+        return self.arrays[pe]
+
+    def nbytes(self) -> int:
+        return self.arrays[0].nbytes
+
+
+class SymmetricHeap:
+    """The collection of symmetric allocations across ``n_pes`` PEs."""
+
+    def __init__(self, n_pes: int):
+        if n_pes < 1:
+            raise ValueError(f"n_pes must be positive, got {n_pes}")
+        self.n_pes = n_pes
+        self._buffers: dict[str, SymmetricBuffer] = {}
+        self._registered: dict[int, list[np.ndarray]] = {}
+
+    def alloc(
+        self, pe: int, name: str, shape: tuple[int, ...], dtype=np.float32
+    ) -> SymmetricBuffer:
+        """PE ``pe`` joins the collective allocation of ``name``.
+
+        All PEs must call with identical shape/dtype; the buffer becomes
+        usable once the last PE joins.
+        """
+        if not 0 <= pe < self.n_pes:
+            raise ValueError(f"pe {pe} out of range")
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        buf = self._buffers.get(name)
+        if buf is None:
+            buf = SymmetricBuffer(
+                name=name,
+                shape=shape,
+                dtype=dtype,
+                arrays=[np.zeros(shape, dtype=dtype) for _ in range(self.n_pes)],
+                joined=[False] * self.n_pes,
+            )
+            self._buffers[name] = buf
+        if buf.shape != shape or buf.dtype != dtype:
+            raise SymmetricAllocationError(
+                f"PE {pe} allocated '{name}' with shape={shape} dtype={dtype}, "
+                f"but the collective allocation is shape={buf.shape} "
+                f"dtype={buf.dtype}: symmetric allocations must be identical"
+            )
+        if buf.joined[pe]:
+            raise SymmetricAllocationError(f"PE {pe} already joined '{name}'")
+        buf.joined[pe] = True
+        return buf
+
+    def alloc_all(self, name: str, shape: tuple[int, ...], dtype=np.float32) -> SymmetricBuffer:
+        """Convenience: all PEs join at once (the usual collective call)."""
+        for pe in range(self.n_pes):
+            buf = self.alloc(pe, name, shape, dtype)
+        return buf
+
+    def get(self, name: str) -> SymmetricBuffer:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise KeyError(f"no symmetric buffer named '{name}'") from None
+
+    def register_buffer(self, pe: int, array: np.ndarray) -> np.ndarray:
+        """``nvshmemx_buffer_register``: make a local array usable as a put/get
+        *source* without symmetric allocation."""
+        self._registered.setdefault(pe, []).append(array)
+        return array
+
+    def is_registered(self, pe: int, array: np.ndarray) -> bool:
+        return any(a is array for a in self._registered.get(pe, []))
+
+    def total_bytes(self) -> int:
+        """Symmetric heap footprint per PE (every PE holds every buffer)."""
+        return sum(b.arrays[0].nbytes for b in self._buffers.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._buffers)

@@ -1,0 +1,79 @@
+"""Device-visible signal counters with release/acquire bookkeeping.
+
+The paper's fused kernels notify receivers through per-pulse signals: the
+sender performs a *release* store (``system_release_store`` over NVLink, or
+the signal half of ``put_signal_nbi`` over InfiniBand) after its data writes;
+the receiver *acquire-waits* before touching dependent data (Algorithms 4-6).
+
+We track, per signal slot, whether the last store was a release: an
+acquire-wait that succeeds on a relaxed store *when data visibility was
+required* is precisely the memory-ordering bug class the paper's design must
+avoid (it uses ``system_relaxed_store`` only when no prior writes need
+flushing).  Strict mode turns such misuse into :class:`SignalError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SignalError(RuntimeError):
+    """Memory-ordering misuse of a signal (acquire on a relaxed store)."""
+
+
+@dataclass
+class SignalArray:
+    """Per-PE array of uint64 signal slots (one per pulse, in our usage)."""
+
+    name: str
+    n_pes: int
+    n_signals: int
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1 or self.n_signals < 0:
+            raise ValueError("n_pes must be >= 1 and n_signals >= 0")
+        self.values = np.zeros((self.n_pes, self.n_signals), dtype=np.uint64)
+        self._released = np.zeros((self.n_pes, self.n_signals), dtype=bool)
+
+    def reset(self) -> None:
+        """Zero all slots (start of a fresh exchange epoch)."""
+        self.values[:] = 0
+        self._released[:] = False
+
+    # -- stores ---------------------------------------------------------------
+
+    def release_store(self, pe: int, idx: int, value: int) -> None:
+        """``st.release.sys``: value visible only after prior data writes."""
+        self.values[pe, idx] = value
+        self._released[pe, idx] = True
+
+    def relaxed_store(self, pe: int, idx: int, value: int) -> None:
+        """``st.relaxed.sys``: no ordering with prior data writes."""
+        self.values[pe, idx] = value
+        self._released[pe, idx] = False
+
+    # -- waits ----------------------------------------------------------------
+
+    def is_set(self, pe: int, idx: int, value: int) -> bool:
+        """Poll: has the slot reached ``value``? (cooperative acquire-wait)."""
+        return bool(self.values[pe, idx] == np.uint64(value))
+
+    def acquire_check(self, pe: int, idx: int, value: int, needs_data: bool = True) -> bool:
+        """Acquire-wait step: poll, verifying release pairing in strict mode.
+
+        ``needs_data=False`` models waits that only order control flow (the
+        paper's relaxed-store case: first pulse of the force send, where no
+        prior writes need flushing).
+        """
+        if not self.is_set(pe, idx, value):
+            return False
+        if self.strict and needs_data and not self._released[pe, idx]:
+            raise SignalError(
+                f"signal '{self.name}'[{idx}] on PE {pe} satisfied by a "
+                f"relaxed store but the waiter requires data visibility: "
+                f"sender must use a release store (or put-with-signal)"
+            )
+        return True

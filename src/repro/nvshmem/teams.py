@@ -1,0 +1,180 @@
+"""Team-based symmetric allocation — the paper's hoped-for NVSHMEM extension.
+
+Sec. 5.3 of the paper: NVSHMEM's ``COMM_WORLD``-wide symmetric allocation
+prevents selective PP/PME participation — PP-only destination buffers force
+redundant allocations on PME ranks, which blocks combining the halo exchange
+with cuFFTMp rank specialization.  The authors "hope that this drawback can
+be resolved with a team-based allocation extension in NVSHMEM".
+
+This module implements that extension on our substrate: a
+:class:`NvshmemTeam` is an ordered subset of world PEs with its own
+symmetric heap.  Allocations are collective over the *team* only, so PP
+ranks can allocate halo buffers without PME ranks paying memory — the exact
+capability the paper is missing.  Transport semantics are inherited from the
+world runtime (NVLink reachability, proxy-delayed inter-node puts,
+signal ordering), with team-relative PE numbering translated at the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nvshmem.heap import SymmetricBuffer, SymmetricHeap
+from repro.nvshmem.runtime import NvshmemRuntime, PendingOp
+from repro.nvshmem.signals import SignalArray
+
+
+class TeamError(RuntimeError):
+    """Invalid team construction or membership use."""
+
+
+@dataclass
+class NvshmemTeam:
+    """An ordered subset of world PEs with team-collective allocations."""
+
+    name: str
+    runtime: NvshmemRuntime
+    world_pes: tuple[int, ...]
+    heap: SymmetricHeap = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.world_pes:
+            raise TeamError(f"team '{self.name}' has no members")
+        if len(set(self.world_pes)) != len(self.world_pes):
+            raise TeamError(f"team '{self.name}' has duplicate members")
+        for pe in self.world_pes:
+            if not 0 <= pe < self.runtime.n_pes:
+                raise TeamError(f"team '{self.name}': world PE {pe} out of range")
+        self.heap = SymmetricHeap(len(self.world_pes))
+        self._signals: dict[str, SignalArray] = {}
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def n_pes(self) -> int:
+        return len(self.world_pes)
+
+    def team_pe(self, world_pe: int) -> int:
+        """Team-relative index of a world PE (raises for non-members)."""
+        try:
+            return self.world_pes.index(world_pe)
+        except ValueError:
+            raise TeamError(
+                f"world PE {world_pe} is not a member of team '{self.name}'"
+            ) from None
+
+    def world_pe(self, team_pe: int) -> int:
+        if not 0 <= team_pe < self.n_pes:
+            raise TeamError(f"team PE {team_pe} out of range for '{self.name}'")
+        return self.world_pes[team_pe]
+
+    def contains(self, world_pe: int) -> bool:
+        return world_pe in self.world_pes
+
+    # -- allocation ---------------------------------------------------------------
+
+    def symmetric_alloc(self, name: str, shape: tuple[int, ...], dtype=np.float32) -> SymmetricBuffer:
+        """Collective allocation over the team only.
+
+        Non-member PEs allocate nothing — the capability whose absence
+        blocks the paper's halo exchange + cuFFTMp combination.
+        """
+        return self.heap.alloc_all(name, shape, dtype)
+
+    def signal_array(self, name: str, n_signals: int) -> SignalArray:
+        if name not in self._signals:
+            self._signals[name] = SignalArray(
+                name=f"{self.name}.{name}",
+                n_pes=self.n_pes,
+                n_signals=n_signals,
+                strict=self.runtime.strict_signals,
+            )
+        sig = self._signals[name]
+        if sig.n_signals != n_signals:
+            raise ValueError(
+                f"signal array '{name}' already allocated with {sig.n_signals} slots"
+            )
+        return sig
+
+    # -- addressing + data movement (world transport, team numbering) ---------------
+
+    def ptr(self, buf: SymmetricBuffer, remote_team_pe: int, local_team_pe: int) -> np.ndarray | None:
+        """Team-relative ``nvshmem_ptr``: NVLink reachability is decided on
+        the *world* topology."""
+        if self.runtime.topology.same_node(
+            self.world_pe(local_team_pe), self.world_pe(remote_team_pe)
+        ):
+            return buf.on(remote_team_pe)
+        return None
+
+    def put(self, buf: SymmetricBuffer, target_team_pe: int, offset: int, data: np.ndarray, source_team_pe: int) -> None:
+        data = np.array(data, copy=True)
+        dest = buf.on(target_team_pe)
+        if offset < 0 or offset + data.shape[0] > dest.shape[0]:
+            raise IndexError(
+                f"team put of {data.shape[0]} rows at {offset} exceeds {dest.shape}"
+            )
+        self.runtime.stats.puts += 1
+        self.runtime.stats.bytes_put += data.nbytes
+        op = PendingOp(
+            kind="put",
+            target_pe=self.world_pe(target_team_pe),
+            apply_data=lambda: dest.__setitem__(
+                slice(offset, offset + data.shape[0]), data
+            ),
+            nbytes=data.nbytes,
+        )
+        self.runtime._submit(op, self.world_pe(source_team_pe), self.world_pe(target_team_pe))
+
+    def put_signal_nbi(
+        self,
+        buf: SymmetricBuffer,
+        target_team_pe: int,
+        offset: int,
+        data: np.ndarray,
+        signal: SignalArray,
+        signal_idx: int,
+        signal_value: int,
+        source_team_pe: int,
+    ) -> None:
+        data = np.array(data, copy=True)
+        dest = buf.on(target_team_pe)
+        if offset < 0 or offset + data.shape[0] > dest.shape[0]:
+            raise IndexError("team put_signal out of bounds")
+        self.runtime.stats.put_signals += 1
+        self.runtime.stats.bytes_put += data.nbytes
+        self.runtime.stats.signals_set += 1
+        op = PendingOp(
+            kind="put_signal",
+            target_pe=self.world_pe(target_team_pe),
+            apply_data=lambda: dest.__setitem__(
+                slice(offset, offset + data.shape[0]), data
+            ),
+            apply_signal=lambda: signal.release_store(
+                target_team_pe, signal_idx, signal_value
+            ),
+            nbytes=data.nbytes,
+        )
+        self.runtime._submit(op, self.world_pe(source_team_pe), self.world_pe(target_team_pe))
+
+    def barrier(self) -> None:
+        """Team barrier: completes traffic targeting team members."""
+        self.runtime.quiet()
+
+
+def team_split(runtime: NvshmemRuntime, name: str, world_pes: list[int] | tuple[int, ...]) -> NvshmemTeam:
+    """``nvshmem_team_split``-style constructor."""
+    return NvshmemTeam(name=name, runtime=runtime, world_pes=tuple(world_pes))
+
+
+def split_pp_pme(runtime: NvshmemRuntime, n_pme: int) -> tuple[NvshmemTeam, NvshmemTeam]:
+    """GROMACS-style MPMD rank specialization: the last ``n_pme`` PEs become
+    PME ranks, the rest PP ranks (Sec. 2.2's rank specialization)."""
+    n = runtime.n_pes
+    if not 0 < n_pme < n:
+        raise TeamError(f"n_pme must be in (0, {n}), got {n_pme}")
+    pp = team_split(runtime, "pp", tuple(range(n - n_pme)))
+    pme = team_split(runtime, "pme", tuple(range(n - n_pme, n)))
+    return pp, pme

@@ -1,0 +1,121 @@
+"""Calibrated hardware parameters.
+
+All latencies in microseconds, bandwidths in bytes/us (1 GB/s = 1000 B/us),
+throughputs in work-items/us.  The values are calibrated so the simulated
+schedules land on the paper's published device-side timings:
+
+* local non-bonded work of 1.7-2.0 ns/atom (Sec. 6.3),
+* non-local work 64 us (NVSHMEM) vs 116 us (MPI) at 11.25k atoms/GPU, and
+  ~152 us for both at 90k atoms/GPU on 4xH100 1D (Fig. 6),
+* kernel launch 2-10 us, event management <1 us (Sec. 3),
+* "other tasks" 30-40 us per step (Sec. 6.3),
+* NVSHMEM SM-resource sharing slowing overlapped local work by ~10-16 us in
+  2D/3D decompositions (Fig. 8).
+
+They are deliberately *architecture level* (an H100 number set, a GB200
+number set), not per-experiment fudge factors: every figure reproduction
+uses the same set for its machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Per-GPU-architecture timing parameters."""
+
+    name: str
+
+    # -- kernel throughputs ------------------------------------------------
+    #: Non-bonded pair throughput of the local kernel (pairs/us).
+    pair_rate: float
+    #: Fixed local-kernel cost on top of the pair work (setup, tail), us.
+    kernel_base_us: float
+    #: Effective pair throughput of the non-local NB kernel (pairs/us):
+    #: smaller irregular work at low occupancy runs well below peak.
+    nonlocal_pair_rate: float
+    #: Fixed non-local kernel cost (cluster setup, low-occupancy tail), us.
+    nonlocal_base_us: float
+    #: Bonded/exclusion work per home atom (us per atom).
+    bonded_us_per_atom: float
+    #: Pack/unpack kernel throughput (atoms/us).
+    pack_rate: float
+    #: Minimum kernel duration (launch-to-retire floor), us.
+    kernel_min_us: float
+
+    # -- CPU-side latencies ---------------------------------------------------
+    launch_us: float  # one kernel-launch API call
+    event_us: float  # one event record/query call
+    cpu_sync_us: float  # CPU blocking wait for a GPU event
+    mpi_call_us: float  # CPU cost of posting an MPI sendrecv
+
+    # -- interconnect (alpha-beta) ---------------------------------------------
+    nvlink_alpha_us: float
+    nvlink_bw: float  # bytes/us
+    ib_alpha_us: float
+    ib_bw: float  # bytes/us
+    ib_proxy_us: float  # NVSHMEM proxy-thread handling per message
+    mpi_nvlink_alpha_us: float  # MPI library latency per intra-node message
+    mpi_ib_alpha_us: float  # MPI library latency per inter-node message
+
+    # -- NVSHMEM device-side ------------------------------------------------------
+    signal_us: float  # signal store -> remote visibility
+    tma_issue_us: float  # TMA bulk-copy issue cost
+    #: Fraction of co-resident comm-kernel time stolen from compute kernels
+    #: (SM resource sharing).
+    sm_share_frac: float
+
+    # -- per-step fixed work ---------------------------------------------------------
+    other_fixed_us: float  # reduce/clear/constraints bookkeeping
+    integrate_rate: float  # atoms/us for the update kernel
+    reduce_rate: float  # atoms/us for the force-reduction kernel
+    prune_us_per_atom: float  # rolling-prune kernel cost
+
+    def with_overrides(self, **kwargs) -> "HardwareParams":
+        """A copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA H100 SXM (DGX H100 / Eos nodes), NVLink 4 + CX-7 NDR InfiniBand.
+H100_PARAMS = HardwareParams(
+    name="H100",
+    pair_rate=116_000.0,
+    kernel_base_us=5.5,
+    nonlocal_pair_rate=30_000.0,
+    nonlocal_base_us=33.0,
+    bonded_us_per_atom=2.0e-4,
+    pack_rate=12_000.0,
+    kernel_min_us=2.5,
+    launch_us=2.5,
+    event_us=0.5,
+    cpu_sync_us=1.0,
+    mpi_call_us=1.5,
+    nvlink_alpha_us=2.0,
+    nvlink_bw=150_000.0,  # ~150 GB/s effective per peer copy
+    ib_alpha_us=3.5,
+    ib_bw=45_000.0,  # NDR 400 Gb/s, ~45 GB/s effective
+    ib_proxy_us=1.0,
+    mpi_nvlink_alpha_us=10.0,
+    mpi_ib_alpha_us=4.0,
+    signal_us=0.8,
+    tma_issue_us=0.5,
+    sm_share_frac=0.12,
+    other_fixed_us=33.0,
+    integrate_rate=4_000.0,
+    reduce_rate=2_500.0,
+    prune_us_per_atom=8.0e-4,
+)
+
+#: NVIDIA GB200 (NVL72 rack): faster NVLink 5, Grace CPU launch path.
+GB200_PARAMS = H100_PARAMS.with_overrides(
+    name="GB200",
+    pair_rate=160_000.0,
+    nonlocal_pair_rate=39_000.0,
+    pack_rate=16_000.0,
+    nvlink_alpha_us=1.6,
+    nvlink_bw=250_000.0,
+    integrate_rate=5_500.0,
+    reduce_rate=3_400.0,
+)

@@ -1,0 +1,62 @@
+"""Machine descriptions: node shapes, interconnects, transport decisions.
+
+The per-pulse NVLink-vs-InfiniBand decision is not hand-waved: given a DD
+grid and the machine's ranks-per-node packing (consecutive ranks share a
+node, the usual SLURM block mapping), a pulse uses NVLink only if *every*
+rank's peer in that dimension lives on the same node — one cross-node pair
+serializes the whole bulk-synchronous pulse, so the slowest transport
+governs (multi-node NVLink machines are all-NVLink by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dd.grid import DDGrid
+from repro.perf.constants import GB200_PARAMS, H100_PARAMS, HardwareParams
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A cluster configuration used in the paper's evaluation."""
+
+    name: str
+    gpus_per_node: int
+    hw: HardwareParams
+    #: Multi-node NVLink (GB200 NVL72): node boundaries don't demote links.
+    mnnvl: bool = False
+
+    def n_nodes(self, n_ranks: int) -> int:
+        return -(-n_ranks // self.gpus_per_node)
+
+    def pulse_is_nvlink(self, grid: DDGrid, dim: int) -> bool:
+        """True iff the dim's ring communication stays on NVLink everywhere."""
+        if self.mnnvl:
+            return True
+        g = self.gpus_per_node
+        if grid.n_ranks <= g:
+            return True
+        for rank in grid.all_ranks():
+            peer = grid.neighbor_rank(rank, dim, -1)
+            if rank // g != peer // g:
+                return False
+        return True
+
+
+#: DGX H100 node used for the intra-node study (Fig. 3): up to 8 GPUs, NVLink4.
+DGX_H100 = Machine(name="dgx-h100", gpus_per_node=8, hw=H100_PARAMS)
+
+#: Eos multi-node configuration (Figs. 5-8): 4 of 8 GPUs per node + NDR IB.
+EOS = Machine(name="eos", gpus_per_node=4, hw=H100_PARAMS)
+
+#: GB200 NVL72 in the paper's 36x2 configuration: 4 GPUs/node, MNNVL (Fig. 4).
+GB200_NVL72 = Machine(name="gb200-nvl72", gpus_per_node=4, hw=GB200_PARAMS, mnnvl=True)
+
+_MACHINES = {m.name: m for m in (DGX_H100, EOS, GB200_NVL72)}
+
+
+def machine_by_name(name: str) -> Machine:
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise KeyError(f"unknown machine '{name}', available: {sorted(_MACHINES)}") from None

@@ -1,0 +1,51 @@
+"""Throughput metrics: ns/day, speedups, strong-scaling efficiency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import ms_per_step_to_ns_per_day
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One point of a strong-scaling series."""
+
+    label: str
+    n_ranks: int
+    n_nodes: int
+    time_per_step_us: float
+
+    @property
+    def ms_per_step(self) -> float:
+        return self.time_per_step_us * 1e-3
+
+    @property
+    def ns_per_day(self) -> float:
+        return ms_per_step_to_ns_per_day(self.ms_per_step)
+
+
+def scaling_series(points: list[ScalingPoint]) -> list[dict]:
+    """Annotate points with parallel efficiency relative to the first point.
+
+    Efficiency follows the paper's convention: baseline is the smallest
+    configuration in the series (e.g. single node for Fig. 4).
+    """
+    if not points:
+        return []
+    base = points[0]
+    out = []
+    for p in points:
+        scale = p.n_ranks / base.n_ranks
+        eff = p.ns_per_day / (base.ns_per_day * scale)
+        out.append(
+            {
+                "label": p.label,
+                "n_ranks": p.n_ranks,
+                "n_nodes": p.n_nodes,
+                "ns_per_day": p.ns_per_day,
+                "ms_per_step": p.ms_per_step,
+                "efficiency": eff,
+            }
+        )
+    return out

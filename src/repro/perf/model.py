@@ -1,0 +1,150 @@
+"""End-to-end step-time estimation.
+
+Glue between a :class:`~repro.perf.workload.StepWorkload`, a machine, and
+the schedule builders.  Steps are simulated in a chained steady state
+(default four consecutive steps): the measured step time is the period
+between the last two step boundaries, so pipeline effects are captured —
+MPI's exchange latency partially hides under the previous step's tail as
+systems grow, and the CPU launch path becomes the bottleneck in the
+latency-bound regime, both of which the paper's Fig. 6 shows.
+
+For the NVSHMEM backend a second pass applies the SM resource-sharing
+penalty: the communication kernels' SM time overlapping the local kernel
+inflates the local kernel's duration (Sec. 6.3's 10-16 us slowdown).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.graph import TaskGraph
+from repro.gpusim.trace import StepTimings, extract_timings
+from repro.perf.machines import Machine
+from repro.perf.workload import StepWorkload
+from repro.sched.durations import Durations
+from repro.sched.mpi_schedule import build_mpi_schedule
+from repro.sched.nvshmem_schedule import build_nvshmem_schedule
+from repro.sched.threadmpi_schedule import build_threadmpi_schedule
+from repro.sched.pinning import apply_pinning
+
+BACKENDS = ("mpi", "nvshmem", "threadmpi")
+
+#: Steps chained per simulation; the last period is the steady-state time.
+STEADY_STEPS = 4
+
+
+def simulate_step(
+    wl: StepWorkload,
+    machine: Machine,
+    backend: str = "nvshmem",
+    prune_opt: bool = True,
+    fused: bool = True,
+    dep_partitioning: bool = True,
+    tma: bool = True,
+    cuda_graph: bool = False,
+    pinning: str = "rank-pinning",
+    imbalance: float = 0.0,
+    imbalance_sync: str = "gpu",
+    pme=None,
+    n_steps: int = STEADY_STEPS,
+) -> tuple[TaskGraph, StepTimings]:
+    """Build, evaluate, and instrument a steady-state step's schedule.
+
+    ``imbalance`` is the lateness of the slowest peer as a fraction of the
+    local kernel time.  For the NVSHMEM backend, ``imbalance_sync`` selects
+    how the wait is absorbed (the paper's conclusion, Sec. 7):
+
+    * ``"gpu"`` — resident block groups spin on signals, stealing SM time
+      from compute for the whole delayed window of every pulse;
+    * ``"cpu"`` — the paper's workaround: PEs resynchronize on the CPU each
+      step, avoiding the SM spin at the cost of no longer being fully
+      GPU-resident (a per-step relaunch penalty).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend '{backend}', choose from {BACKENDS}")
+    if n_steps < 2:
+        raise ValueError("need at least 2 chained steps for a steady-state period")
+    hw = machine.hw
+    last = f"s{n_steps - 1}:"
+    if backend == "nvshmem":
+        hw = apply_pinning(hw, pinning)
+        if cuda_graph:
+            # Graph replay eliminates per-kernel dispatch latency on top of
+            # the launch API calls (Sec. 5.3: steps with NVSHMEM comms can
+            # be captured); shave the fixed per-kernel overheads.
+            hw = hw.with_overrides(
+                kernel_min_us=max(0.5, hw.kernel_min_us - 1.5),
+                kernel_base_us=max(0.5, hw.kernel_base_us - 1.5),
+                nonlocal_base_us=max(0.5, hw.nonlocal_base_us - 1.5),
+            )
+        d = Durations(hw=hw, wl=wl)
+        peer_lag = 0.0
+        resync_us = 0.0
+        sm_spin_extra = 0.0
+        if imbalance > 0.0:
+            delta = imbalance * d.local_nb()
+            if imbalance_sync == "gpu":
+                # Fully GPU-resident: the slow peer is late at EVERY signal
+                # (the lateness compounds along the pulse dependency chain)
+                # and the waiting block groups spin on SMs meanwhile.
+                peer_lag = delta
+                sm_spin_extra = hw.sm_share_frac * delta * max(1, wl.n_pulses)
+            elif imbalance_sync == "cpu":
+                # The paper's workaround: PEs realign on the CPU once per
+                # step; the lateness is paid once, plus the cost of leaving
+                # the GPU-resident regime (sync + relaunching the step).
+                resync_us = delta + hw.cpu_sync_us + 2.0 * (hw.launch_us + 1.5 * hw.event_us)
+            else:
+                raise ValueError(
+                    f"imbalance_sync must be 'gpu' or 'cpu', got '{imbalance_sync}'"
+                )
+        kwargs = dict(
+            prune_opt=prune_opt, fused=fused,
+            dep_partitioning=dep_partitioning, tma=tma,
+            cuda_graph=cuda_graph, peer_lag_extra=peer_lag,
+            resync_us=resync_us, pme=pme, n_steps=n_steps,
+        )
+        g, bounds = build_nvshmem_schedule(wl, d, local_nb_extra=sm_spin_extra, **kwargs)
+        # SM resource sharing: communication block groups co-resident with
+        # the local kernel steal SM time from it.  Penalty = share fraction
+        # x the comm kernels' SM busy time overlapping the local window.
+        g.evaluate()
+        local = g.tasks[last + "local_nb"]
+        overlap_busy = 0.0
+        for t in g.tasks.values():
+            if t.name.startswith(last) and t.resource.startswith("gpu.nl.p") and t.kind == "pack":
+                overlap_busy += max(0.0, min(t.end, local.end) - max(t.start, local.start))
+        extra = hw.sm_share_frac * overlap_busy + sm_spin_extra
+        if extra > 0.05:
+            g, bounds = build_nvshmem_schedule(wl, d, local_nb_extra=extra, **kwargs)
+    elif backend == "threadmpi":
+        # Event-driven like NVSHMEM (graph capture is supported intra-node),
+        # but copies-not-kernels: no SM-sharing penalty applies.
+        if cuda_graph:
+            hw = hw.with_overrides(
+                kernel_min_us=max(0.5, hw.kernel_min_us - 1.5),
+                kernel_base_us=max(0.5, hw.kernel_base_us - 1.5),
+                nonlocal_base_us=max(0.5, hw.nonlocal_base_us - 1.5),
+            )
+        d = Durations(hw=hw, wl=wl)
+        g, bounds = build_threadmpi_schedule(wl, d, prune_opt=prune_opt, n_steps=n_steps)
+    else:
+        if cuda_graph:
+            raise ValueError(
+                "CUDA graph capture requires a GPU-resident schedule "
+                "(nvshmem or intra-node threadmpi): MPI needs per-pulse CPU "
+                "synchronization (paper Sec. 3)"
+            )
+        d = Durations(hw=hw, wl=wl)
+        g, bounds = build_mpi_schedule(
+            wl, d, prune_opt=prune_opt, pme=pme, n_steps=n_steps
+        )
+    g.evaluate()
+    period = g.end(bounds[-1]["step_end"]) - g.end(bounds[-2]["step_end"])
+    return g, extract_timings(g, prefix=last, time_per_step=period)
+
+
+def estimate_step(
+    wl: StepWorkload, machine: Machine, backend: str = "nvshmem", **kwargs
+) -> StepTimings:
+    """Timings only (drops the graph)."""
+    _, t = simulate_step(wl, machine, backend=backend, **kwargs)
+    return t

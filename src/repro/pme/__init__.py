@@ -1,0 +1,31 @@
+"""Particle-Mesh Ewald substrate.
+
+GROMACS' rank specialization exists because of PME: a subset of ranks runs
+the 3D-FFT-based long-range solver while PP ranks do particle-particle work
+(paper Sec. 2.2), and the PP <-> PME coordinate/force communication is the
+paper's declared future-work target for the GPU-initiated redesign (Sec. 7).
+The grappa benchmarks deliberately use reaction-field electrostatics to
+keep PME off the critical path — but a credible GROMACS reproduction needs
+the substrate, so here it is:
+
+* :mod:`repro.pme.ewald_direct` — brute-force Ewald summation (real-space
+  erfc + explicit reciprocal sum + self term): the ground truth;
+* :mod:`repro.pme.spme` — smooth PME (Essmann et al. 1995): cardinal
+  B-spline charge spreading, FFT convolution with the Ewald influence
+  function, analytic spline-derivative forces — verified against the direct
+  sum in the test suite;
+* :mod:`repro.pme.decomposition` — MPMD rank specialization: PP ranks ship
+  coordinates/charges to PME ranks (which use team-based symmetric buffers,
+  the Sec. 5.3 extension) and receive long-range forces back.
+"""
+
+from repro.pme.decomposition import PmePpSession
+from repro.pme.ewald_direct import ewald_direct
+from repro.pme.spme import SpmeSolver, optimal_beta
+
+__all__ = [
+    "PmePpSession",
+    "SpmeSolver",
+    "ewald_direct",
+    "optimal_beta",
+]

@@ -1,0 +1,140 @@
+"""MPMD rank specialization: PP ranks <-> dedicated PME ranks.
+
+Reproduces the communication structure of GROMACS' PME rank specialization
+(paper Sec. 2.2): each particle-particle (PP) rank ships its coordinates and
+charges to an assigned PME rank before the long-range solve and receives
+reciprocal-space forces back afterwards — the exact communication the paper
+names as the next target for the GPU-initiated redesign (Sec. 7).
+
+The transfers run through :class:`~repro.nvshmem.teams.NvshmemTeam` symmetric
+buffers, i.e. through the team-based allocation extension of Sec. 5.3 — the
+PP team's buffers cost PME ranks nothing and vice versa, which is precisely
+what COMM_WORLD-wide NVSHMEM cannot do today.
+
+Substitution note (DESIGN.md): production GROMACS distributes the 3D FFT
+across PME ranks with cuFFTMp; the FFT internals are not this paper's
+contribution, so each PME rank spreads its share of atoms onto a full-size
+mesh and the meshes are reduced before one global solve — mathematically
+identical output, same PP<->PME communication pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nvshmem.runtime import NodeTopology, NvshmemRuntime
+from repro.nvshmem.teams import NvshmemTeam, split_pp_pme
+from repro.pme.spme import SpmeSolver
+
+
+@dataclass
+class PmePpSession:
+    """A PP/PME-specialized job over the in-process NVSHMEM runtime."""
+
+    n_pp: int
+    n_pme: int
+    box: np.ndarray
+    grid: tuple[int, int, int]
+    beta: float
+    order: int = 4
+    pes_per_node: int | None = None
+    max_atoms_per_rank: int = 100_000
+
+    def __post_init__(self) -> None:
+        n = self.n_pp + self.n_pme
+        topo = NodeTopology(n_pes=n, pes_per_node=self.pes_per_node or n)
+        self.runtime = NvshmemRuntime(topo)
+        self.pp_team, self.pme_team = split_pp_pme(self.runtime, self.n_pme)
+        self.solver = SpmeSolver(
+            box=np.asarray(self.box, dtype=np.float64),
+            grid=self.grid,
+            beta=self.beta,
+            order=self.order,
+        )
+        # Team-symmetric staging: coordinates+charges inbound to PME ranks,
+        # forces outbound back to PP ranks.  (The Sec. 5.3 win: these exist
+        # only on the team that needs them.)
+        cap = self.max_atoms_per_rank
+        self._xq_in = self.pme_team.symmetric_alloc("ppXQ", (self.n_pp, cap, 4), np.float64)
+        self._count_in = self.pme_team.symmetric_alloc("ppCount", (self.n_pp,), np.int64)
+        self._f_back = self.pp_team.symmetric_alloc("pmeForces", (cap, 3), np.float64)
+
+    # -- rank mapping -----------------------------------------------------------
+
+    def pme_rank_of(self, pp_rank: int) -> int:
+        """PME team rank serving a PP rank (contiguous block mapping)."""
+        if not 0 <= pp_rank < self.n_pp:
+            raise ValueError(f"pp_rank {pp_rank} out of range")
+        return pp_rank * self.n_pme // self.n_pp
+
+    def pp_ranks_of(self, pme_rank: int) -> list[int]:
+        return [r for r in range(self.n_pp) if self.pme_rank_of(r) == pme_rank]
+
+    # -- one long-range evaluation ---------------------------------------------------
+
+    def compute(
+        self,
+        positions_per_pp: list[np.ndarray],
+        charges_per_pp: list[np.ndarray],
+    ) -> tuple[float, list[np.ndarray]]:
+        """Run one PP -> PME -> PP round trip.
+
+        Returns the reciprocal+self energy and the per-PP-rank force arrays.
+        """
+        if len(positions_per_pp) != self.n_pp or len(charges_per_pp) != self.n_pp:
+            raise ValueError(f"need arrays for all {self.n_pp} PP ranks")
+
+        # 1. PP ranks put coordinates+charges into their PME rank's buffer.
+        for pp in range(self.n_pp):
+            pos = np.asarray(positions_per_pp[pp], dtype=np.float64)
+            q = np.asarray(charges_per_pp[pp], dtype=np.float64)
+            n = pos.shape[0]
+            if n > self.max_atoms_per_rank:
+                raise ValueError(
+                    f"PP rank {pp} holds {n} atoms > capacity "
+                    f"{self.max_atoms_per_rank}"
+                )
+            target = self.pme_rank_of(pp)
+            payload = np.concatenate([pos, q[:, None]], axis=1)
+            # Row-sliced put into the (pp, :, :) plane of the PME buffer.
+            self._xq_in.on(target)[pp, :n] = payload
+            self._count_in.on(target)[pp] = n
+            self.runtime.stats.puts += 1
+            self.runtime.stats.bytes_put += payload.nbytes
+
+        # 2. Each PME rank spreads its share; meshes reduce to the global Q.
+        meshes = []
+        for pme in range(self.n_pme):
+            xs, qs = [], []
+            for pp in self.pp_ranks_of(pme):
+                n = int(self._count_in.on(pme)[pp])
+                block = self._xq_in.on(pme)[pp, :n]
+                xs.append(block[:, :3])
+                qs.append(block[:, 3])
+            if xs:
+                meshes.append(
+                    self.solver.spread(np.vstack(xs), np.concatenate(qs))
+                )
+        q_mesh = np.sum(meshes, axis=0) if meshes else np.zeros(self.grid)
+
+        # 3. Global solve (distributed-FFT substitution, see module docs),
+        # then per-rank force gather from the shared mesh potential.
+        all_pos = np.vstack([np.asarray(p, dtype=np.float64) for p in positions_per_pp])
+        all_q = np.concatenate([np.asarray(c, dtype=np.float64) for c in charges_per_pp])
+        energy, forces = self.solver.reciprocal_from_mesh(q_mesh, all_pos, all_q)
+        energy += self.solver.self_energy(all_q)
+
+        # 4. PME ranks return forces to the owning PP ranks.
+        out: list[np.ndarray] = []
+        offset = 0
+        for pp in range(self.n_pp):
+            n = np.asarray(positions_per_pp[pp]).shape[0]
+            block = forces[offset : offset + n]
+            self._f_back.on(pp)[:n] = block
+            self.runtime.stats.puts += 1
+            self.runtime.stats.bytes_put += block.nbytes
+            out.append(self._f_back.on(pp)[:n].copy())
+            offset += n
+        return energy, out

@@ -1,0 +1,124 @@
+"""Direct Ewald summation — the ground truth for the SPME solver.
+
+Splits the conditionally convergent Coulomb lattice sum with a Gaussian
+screening parameter beta (nm^-1):
+
+* real space:    E_r = f/2 sum_{i!=j} q_i q_j erfc(beta r_ij) / r_ij
+  (minimum image; converged when erfc(beta*rc) is negligible),
+* reciprocal:    E_k = (f / 2V) sum_{k!=0} (4 pi / k^2) e^{-k^2/(4 beta^2)} |S(k)|^2
+  with the structure factor S(k) = sum_i q_i e^{i k . r_i},
+* self term:     E_s = -f beta/sqrt(pi) sum_i q_i^2.
+
+O(N^2 + N K^3): only usable for small systems, which is exactly its job —
+pinning SPME's energies and forces in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.md.forcefield import COULOMB_FACTOR
+
+
+def ewald_real_space(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    box: np.ndarray,
+    beta: float,
+    r_cut: float,
+) -> tuple[float, np.ndarray]:
+    """Screened real-space Ewald term: energy and forces within ``r_cut``.
+
+    This is the short-range piece a PP rank computes alongside LJ when PME
+    handles the long range: V = f q_i q_j erfc(beta r) / r.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    charges = np.asarray(charges, dtype=np.float64)
+    box = np.asarray(box, dtype=np.float64)
+    n = positions.shape[0]
+    forces = np.zeros((n, 3))
+    energy = 0.0
+    for i in range(n - 1):
+        dx = positions[i] - positions[i + 1 :]
+        dx -= np.rint(dx / box) * box
+        r2 = np.einsum("ij,ij->i", dx, dx)
+        mask = r2 <= r_cut * r_cut
+        if not np.any(mask):
+            continue
+        r = np.sqrt(r2[mask])
+        qq = COULOMB_FACTOR * charges[i] * charges[i + 1 :][mask]
+        energy += float(np.sum(qq * erfc(beta * r) / r))
+        # d/dr [erfc(br)/r] = -(erfc(br)/r^2 + 2b/sqrt(pi) e^{-b^2 r^2}/r)
+        fr = qq * (
+            erfc(beta * r) / r2[mask]
+            + 2.0 * beta / np.sqrt(np.pi) * np.exp(-((beta * r) ** 2)) / r
+        )
+        fvec = (fr / r)[:, None] * dx[mask]
+        forces[i] += fvec.sum(axis=0)
+        np.subtract.at(forces, np.nonzero(mask)[0] + i + 1, fvec)
+    return energy, forces
+
+
+def ewald_direct(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    box: np.ndarray,
+    beta: float,
+    r_cut: float | None = None,
+    k_max: int = 8,
+) -> tuple[float, np.ndarray]:
+    """Total electrostatic energy (kJ/mol) and forces for a neutral system.
+
+    Parameters
+    ----------
+    beta:
+        Ewald screening parameter, nm^-1.
+    r_cut:
+        Real-space cutoff; defaults to just under half the smallest box
+        edge (maximal minimum-image range).
+    k_max:
+        Reciprocal sum includes all integer triples with |n_i| <= k_max.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    charges = np.asarray(charges, dtype=np.float64)
+    box = np.asarray(box, dtype=np.float64)
+    n = positions.shape[0]
+    if abs(float(charges.sum())) > 1e-8 * max(1, n):
+        raise ValueError("Ewald summation requires a neutral system")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    if r_cut is None:
+        r_cut = 0.5 * float(box.min()) * (1 - 1e-9)
+    volume = float(np.prod(box))
+
+    # -- real space (pairwise, minimum image) ----------------------------------
+    e_real, forces = ewald_real_space(positions, charges, box, beta, r_cut)
+
+    # -- reciprocal space ------------------------------------------------------------
+    e_recip = 0.0
+    rng = range(-k_max, k_max + 1)
+    two_pi = 2.0 * np.pi
+    for nx in rng:
+        for ny in rng:
+            for nz in rng:
+                if nx == 0 and ny == 0 and nz == 0:
+                    continue
+                k = two_pi * np.array([nx / box[0], ny / box[1], nz / box[2]])
+                k2 = float(k @ k)
+                a_k = (4.0 * np.pi / k2) * np.exp(-k2 / (4.0 * beta**2))
+                phase = positions @ k
+                s_re = float(np.sum(charges * np.cos(phase)))
+                s_im = float(np.sum(charges * np.sin(phase)))
+                e_recip += a_k * (s_re**2 + s_im**2)
+                # F_i = (f/V) q_i A_k [sin(k.r_i) S_re - cos(k.r_i) S_im] k
+                coef = (COULOMB_FACTOR / volume) * charges * a_k * (
+                    np.sin(phase) * s_re - np.cos(phase) * s_im
+                )
+                forces += coef[:, None] * k[None, :]
+    e_recip *= COULOMB_FACTOR / (2.0 * volume)
+
+    # -- self term ----------------------------------------------------------------------
+    e_self = -COULOMB_FACTOR * beta / np.sqrt(np.pi) * float(np.sum(charges**2))
+
+    return e_real + e_recip + e_self, forces

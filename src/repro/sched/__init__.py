@@ -1,0 +1,32 @@
+"""GPU-resident time-step schedules (the paper's Figs. 1-2 and Sec. 5.3-5.5).
+
+Builders construct one representative rank's step as a
+:class:`~repro.gpusim.TaskGraph`:
+
+* :func:`build_mpi_schedule` — the CPU-initiated GPU-aware MPI schedule:
+  serialized pulses, CPU-GPU synchronization before every MPI call (Fig. 1);
+* :func:`build_nvshmem_schedule` — the fused GPU-initiated schedule: all
+  kernels launched up front, pulses concurrent, per-pulse signals, NVLink
+  TMA vs InfiniBand put-with-signal (Fig. 2, Algorithms 2-6);
+* :mod:`repro.sched.prune` — the end-of-step schedule revision of Sec. 5.4
+  (prune on a dedicated low-priority stream, medium-priority update stream);
+* :mod:`repro.sched.pinning` — the NVSHMEM proxy-thread affinity model of
+  Sec. 5.5 (a proxy pinned to a busy core degrades every IB message).
+"""
+
+from repro.sched.durations import Durations
+from repro.sched.mpi_schedule import build_mpi_schedule
+from repro.sched.nvshmem_schedule import build_nvshmem_schedule
+from repro.sched.pinning import PINNING_MODES, apply_pinning
+from repro.sched.prune import add_step_tail
+from repro.sched.threadmpi_schedule import build_threadmpi_schedule
+
+__all__ = [
+    "Durations",
+    "PINNING_MODES",
+    "add_step_tail",
+    "apply_pinning",
+    "build_mpi_schedule",
+    "build_nvshmem_schedule",
+    "build_threadmpi_schedule",
+]

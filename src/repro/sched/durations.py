@@ -1,0 +1,86 @@
+"""Kernel and transfer duration models shared by all schedule builders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.constants import HardwareParams
+from repro.perf.workload import PulseWork, StepWorkload
+
+#: Bytes per communicated entry (float3 coordinate or force).
+BYTES_PER_ENTRY = 12.0
+
+
+@dataclass(frozen=True)
+class Durations:
+    """Bind hardware parameters to a workload; all results in microseconds."""
+
+    hw: HardwareParams
+    wl: StepWorkload
+
+    # -- compute kernels -------------------------------------------------------
+
+    def local_nb(self) -> float:
+        """Local non-bonded kernel (pairs among home atoms)."""
+        return self.hw.kernel_base_us + self.wl.pairs_local / self.hw.pair_rate
+
+    def nonlocal_nb(self) -> float:
+        """Non-local non-bonded kernel: smaller, irregular work at low
+        occupancy — its own base cost and a reduced pair throughput."""
+        return self.hw.nonlocal_base_us + self.wl.pairs_nonlocal / self.hw.nonlocal_pair_rate
+
+    def bonded(self) -> float:
+        """Bonded/exclusion forces (scheduled on the non-local stream)."""
+        return max(self.hw.kernel_min_us, self.hw.bonded_us_per_atom * self.wl.n_home)
+
+    def pack(self, n_atoms: float) -> float:
+        """Standalone pack/unpack kernel over ``n_atoms`` entries (carries
+        the per-kernel launch-to-retire floor)."""
+        return max(self.hw.kernel_min_us, n_atoms / self.hw.pack_rate)
+
+    def pack_chunk(self, n_atoms: float) -> float:
+        """Pack work done by a block group *inside* a fused kernel: no
+        per-kernel floor, just a small block-scheduling constant."""
+        return 0.2 + n_atoms / self.hw.pack_rate
+
+    def integrate(self) -> float:
+        return max(self.hw.kernel_min_us, self.wl.n_home / self.hw.integrate_rate)
+
+    def reduce(self) -> float:
+        """Force reduction across stream-local accumulation buffers."""
+        return max(self.hw.kernel_min_us, self.wl.n_home / self.hw.reduce_rate)
+
+    def prune(self) -> float:
+        return max(self.hw.kernel_min_us, self.hw.prune_us_per_atom * self.wl.n_home)
+
+    def other_host(self) -> float:
+        """Per-step fixed bookkeeping (clearing, counters, constraints)."""
+        return self.hw.other_fixed_us
+
+    # -- transfers -----------------------------------------------------------------
+
+    def wire(self, pulse: PulseWork, n_atoms: float | None = None) -> float:
+        """Full transfer time of a pulse's payload on its link."""
+        n = pulse.send_atoms if n_atoms is None else n_atoms
+        nbytes = n * BYTES_PER_ENTRY
+        if pulse.nvlink:
+            return self.hw.nvlink_alpha_us + nbytes / self.hw.nvlink_bw
+        return self.hw.ib_alpha_us + self.hw.ib_proxy_us + nbytes / self.hw.ib_bw
+
+    def mpi_wire(self, pulse: PulseWork) -> float:
+        """Transfer time of an MPI sendrecv (library overhead on top of the
+        raw link: message matching, protocol, GPU-aware staging decisions)."""
+        nbytes = pulse.send_atoms * BYTES_PER_ENTRY
+        if pulse.nvlink:
+            return self.hw.mpi_nvlink_alpha_us + nbytes / self.hw.nvlink_bw
+        return self.hw.mpi_ib_alpha_us + nbytes / self.hw.ib_bw
+
+    def tma_tail(self, pulse: PulseWork) -> float:
+        """NVLink TMA store completion beyond the end of packing.
+
+        Independent chunks stream to the peer while later chunks are still
+        being packed, so only the issue latency plus the *dependent* part's
+        bytes remain exposed after the last pack finishes.
+        """
+        nbytes = pulse.dependent_atoms * BYTES_PER_ENTRY + 128.0
+        return self.hw.tma_issue_us + nbytes / self.hw.nvlink_bw

@@ -1,0 +1,172 @@
+"""The CPU-initiated GPU-aware MPI schedule (paper Fig. 1).
+
+Structure per pulse, strictly serialized:
+
+    CPU: launch pack -> wait(pack event) -> MPI_Sendrecv (blocks until the
+    device-to-device transfer completes) -> launch unpack
+
+Every wait is a CPU-GPU synchronization on the critical path; kernels cannot
+be launched more than a pulse ahead because the CPU must observe GPU
+completion before each MPI call — so launch latencies and sync costs are
+exposed whenever kernels are short (the latency-bound regime of Fig. 6,
+116 us non-local span at 11.25k atoms/GPU).
+
+Steps chain: the coordinate pack of step *i* depends on the integration of
+step *i-1*, and all CPU work is one sequential timeline — so in steady state
+part of the exchange latency hides under the previous step's tail, which is
+why MPI closes the gap on NVSHMEM as systems grow (Fig. 6's 116 -> 101 us).
+
+Peer readiness is mirrored by symmetry: a transfer starts once *our* side
+posts (homogeneous systems, identical peer timelines).
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.graph import TaskGraph
+from repro.perf.workload import StepWorkload
+from repro.sched.durations import Durations
+from repro.sched.pme_comm import PmeWork, add_pme_arm
+from repro.sched.prune import add_step_tail
+
+
+def add_mpi_step(
+    g: TaskGraph,
+    wl: StepWorkload,
+    d: Durations,
+    prefix: str = "",
+    prev: dict[str, str] | None = None,
+    prune_opt: bool = True,
+    local_nb_extra: float = 0.0,
+    pme: PmeWork | None = None,
+) -> dict[str, str]:
+    """Append one MPI-schedule step; returns its boundary task names."""
+    hw = d.hw
+    launch_cost = hw.launch_us + 1.5 * hw.event_us
+    prev_integrate = (prev["integrate"],) if prev else ()
+    prev_clear = (prev["clear"],) if prev else ()
+
+    def launch(name: str, deps: tuple[str, ...] = ()) -> str:
+        return g.add(f"{prefix}launch_{name}", "cpu", launch_cost, deps=deps, kind="launch").name
+
+    # Local non-bonded first (Fig. 1); its input coordinates come from the
+    # previous step's integration, its force buffer from the clear.
+    local_nb = g.add(
+        f"{prefix}local_nb",
+        "gpu.local",
+        d.local_nb() + local_nb_extra,
+        deps=(launch("local_nb"),) + prev_integrate + prev_clear,
+        kind="kernel",
+    ).name
+
+    # -- coordinate halo: serialized pulses ------------------------------------
+    # GROMACS' GPU-aware MPI receive lands in place (the halo region of the
+    # coordinate buffer is contiguous at atomOffset), so there is a pack
+    # kernel but no unpack kernel per pulse.
+    prev_arrival: str | None = None
+    for p in wl.pulses:
+        pid = p.pulse_id
+        pack_deps = [launch(f"xpack{pid}")] + list(prev_integrate)
+        if prev_arrival is not None:
+            # Forwarding: this pulse packs data delivered by the previous one.
+            pack_deps.append(prev_arrival)
+        pack = g.add(
+            f"{prefix}nonlocal:xpack{pid}",
+            "gpu.nonlocal",
+            d.pack(p.send_atoms),
+            deps=tuple(pack_deps),
+            kind="pack",
+        ).name
+        # CPU blocks on the pack event before it may call MPI.
+        w1 = g.add(f"{prefix}wait_xpack{pid}", "cpu", hw.cpu_sync_us, deps=(pack,), kind="sync").name
+        post = g.add(f"{prefix}mpi_post_x{pid}", "cpu", hw.mpi_call_us, deps=(w1,), kind="host").name
+        xfer = g.add(
+            f"{prefix}nonlocal:xfer{pid}",
+            f"wire.x{pid}",
+            d.mpi_wire(p),
+            deps=(post, pack),
+            kind="comm",
+        ).name
+        # Blocking sendrecv: the CPU resumes only once data has arrived.
+        g.add(f"{prefix}wait_xfer{pid}", "cpu", hw.cpu_sync_us, deps=(xfer,), kind="sync")
+        prev_arrival = xfer
+
+    # -- non-local force compute --------------------------------------------------
+    bonded = g.add(
+        f"{prefix}nonlocal:bonded",
+        "gpu.nonlocal",
+        d.bonded(),
+        deps=(launch("bonded"),),
+        kind="kernel",
+    ).name
+    nl_deps = [launch("nl_nb"), bonded]
+    if prev_arrival is not None:
+        nl_deps.append(prev_arrival)
+    nl_nb = g.add(
+        f"{prefix}nonlocal:nb",
+        "gpu.nonlocal",
+        d.nonlocal_nb(),
+        deps=tuple(nl_deps),
+        kind="kernel",
+    ).name
+
+    # -- force halo: reverse order, serialized ---------------------------------------
+    # Zone forces are contiguous at atomOffset, so the send needs no pack
+    # kernel; the receive needs a scatter-accumulate unpack.
+    chain = nl_nb
+    for p in reversed(wl.pulses):
+        pid = p.pulse_id
+        # The CPU waits until the zone's forces are final (non-local kernel
+        # plus any accumulations from later pulses) before calling MPI.
+        w0 = g.add(f"{prefix}wait_forces{pid}", "cpu", hw.cpu_sync_us, deps=(chain,), kind="sync").name
+        post = g.add(f"{prefix}mpi_post_f{pid}", "cpu", hw.mpi_call_us, deps=(w0,), kind="host").name
+        fxfer = g.add(
+            f"{prefix}nonlocal:fxfer{pid}",
+            f"wire.f{pid}",
+            d.mpi_wire(p),
+            deps=(post, chain),
+            kind="comm",
+        ).name
+        w2 = g.add(f"{prefix}wait_fxfer{pid}", "cpu", hw.cpu_sync_us, deps=(fxfer,), kind="sync").name
+        chain = g.add(
+            f"{prefix}nonlocal:funpack{pid}",
+            "gpu.nonlocal",
+            d.pack(p.send_atoms),
+            deps=(launch(f"funpack{pid}", (w2,)), fxfer),
+            kind="pack",
+        ).name
+
+    force_done = [chain]
+    if pme is not None:
+        force_done.append(
+            add_pme_arm(g, hw, pme, prefix, prev_integrate, gpu_initiated=False)
+        )
+    return add_step_tail(
+        g,
+        d,
+        force_done=force_done,
+        local_done=local_nb,
+        prefix=prefix,
+        prune_opt=prune_opt,
+        launch_gated=True,
+    )
+
+
+def build_mpi_schedule(
+    wl: StepWorkload,
+    d: Durations,
+    prune_opt: bool = True,
+    local_nb_extra: float = 0.0,
+    pme: PmeWork | None = None,
+    n_steps: int = 1,
+) -> tuple[TaskGraph, list[dict[str, str]]]:
+    """Chain ``n_steps`` MPI steps; returns the graph and step boundaries."""
+    g = TaskGraph()
+    prev = None
+    bounds = []
+    for i in range(n_steps):
+        prev = add_mpi_step(
+            g, wl, d, prefix=f"s{i}:", prev=prev, prune_opt=prune_opt,
+            local_nb_extra=local_nb_extra, pme=pme,
+        )
+        bounds.append(prev)
+    return g, bounds

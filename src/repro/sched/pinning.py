@@ -1,0 +1,46 @@
+"""NVSHMEM proxy-thread affinity model (paper Sec. 5.5).
+
+The NVSHMEM InfiniBand proxy thread inherits the affinity of the thread
+that calls ``nvshmem_init``.  If that lands on a core already running a
+GROMACS OpenMP worker, every proxied message contends with compute for the
+core — the paper observed up to 50x end-to-end slowdown in multi-node runs.
+
+Three modes reproduce the paper's experiment matrix:
+
+* ``rank-pinning`` — GROMACS pins ranks to core ranges; the proxy floats
+  within the range and, with low OS noise, stays effectively contention-free
+  (the paper's default and best performer);
+* ``reserve-thread`` — the paper's fix (``GMX_NVSHMEM_RESERVE_THREAD=1``):
+  GROMACS uses one fewer OpenMP thread and initializes NVSHMEM from the
+  spare, guaranteeing a free core.  No measurable benefit over rank pinning
+  on a quiet system — reproduced as a tiny fixed improvement of zero;
+* ``busy-core`` — the failure mode: the proxy timeshares a busy core, so
+  per-message proxy handling stretches by the scheduling quantum and
+  bandwidth collapses.
+"""
+
+from __future__ import annotations
+
+from repro.perf.constants import HardwareParams
+
+#: Per-message proxy latency multiplier and bandwidth divisor when the proxy
+#: thread timeshares a busy core (calibrated to the paper's "up to 50x"
+#: application slowdown in communication-bound multi-node runs).
+_BUSY_PROXY_LATENCY_X = 1200.0
+_BUSY_BANDWIDTH_DIV = 8.0
+
+PINNING_MODES = ("rank-pinning", "reserve-thread", "busy-core")
+
+
+def apply_pinning(hw: HardwareParams, mode: str = "rank-pinning") -> HardwareParams:
+    """Return hardware parameters adjusted for the proxy placement mode."""
+    if mode not in PINNING_MODES:
+        raise ValueError(f"unknown pinning mode '{mode}', choose from {PINNING_MODES}")
+    if mode == "busy-core":
+        return hw.with_overrides(
+            ib_proxy_us=hw.ib_proxy_us * _BUSY_PROXY_LATENCY_X,
+            ib_bw=hw.ib_bw / _BUSY_BANDWIDTH_DIV,
+        )
+    # rank-pinning and reserve-thread are equivalent on a quiet machine
+    # (the paper saw no benefit from thread-level pinning over rank-level).
+    return hw

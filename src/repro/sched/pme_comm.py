@@ -1,0 +1,151 @@
+"""PP <-> PME communication in the step schedule (the paper's future work).
+
+Sec. 7: "we plan [to] use the GPU-initiated communication approaches and
+optimizations employed here to redesign the rest of the communication in
+GROMACS, notably the communication of coordinates and forces to and from the
+PME tasks, which will be key to fully unlock the scalability potential of
+important GROMACS workloads."
+
+This module adds that PME arm to the simulated step so the projected benefit
+can be quantified: a PP rank ships its coordinates to its PME rank after
+integration, the PME pipeline (spread -> FFT -> solve -> iFFT -> gather)
+runs on the dedicated rank, and the long-range forces return before the
+force reduction.  Under the MPI control path both transfers cost CPU
+synchronization on the PP rank (today's GROMACS); under the GPU-initiated
+path they are device-side sends with signals (the projected redesign).
+
+The grappa benchmarks use reaction-field electrostatics precisely to avoid
+this arm; the EXT-PME experiment is therefore a *projection*, not a paper
+figure — marked as such in DESIGN.md/EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.graph import TaskGraph
+from repro.perf.constants import HardwareParams
+from repro.sched.durations import BYTES_PER_ENTRY
+
+
+@dataclass(frozen=True)
+class PmeWork:
+    """Per-step PME work for one PP rank's share of the system."""
+
+    n_home: float  # atoms sent to the PME rank
+    grid_points: int  # total mesh points handled by the PME rank
+    nvlink: bool  # PP<->PME link type
+
+    # Throughputs (items/us): spreading/gathering and the FFT+solve mesh work.
+    spread_rate: float = 9_000.0
+    mesh_rate: float = 450_000.0
+
+    @classmethod
+    def for_system(cls, n_atoms: int, n_pp: int, n_pme: int, nvlink: bool) -> "PmeWork":
+        """GROMACS-style sizing: mesh spacing ~0.12 nm at grappa density."""
+        from repro.md.grappa import grappa_box_length
+
+        box = grappa_box_length(n_atoms)
+        k = int(2 ** np.ceil(np.log2(box / 0.12)))
+        return cls(
+            n_home=n_atoms / n_pp,
+            grid_points=k**3 // max(1, n_pme),
+            nvlink=nvlink,
+        )
+
+    def xfer_us(self, hw: HardwareParams) -> float:
+        nbytes = self.n_home * BYTES_PER_ENTRY
+        if self.nvlink:
+            return hw.nvlink_alpha_us + nbytes / hw.nvlink_bw
+        return hw.ib_alpha_us + hw.ib_proxy_us + nbytes / hw.ib_bw
+
+    def pipeline_us(self) -> float:
+        """Spread + 2 FFTs + solve + gather on the PME rank."""
+        mesh = self.grid_points * max(1.0, np.log2(max(2, self.grid_points))) / self.mesh_rate
+        return 2.0 * self.n_home / self.spread_rate + mesh
+
+
+def add_pme_arm(
+    g: TaskGraph,
+    hw: HardwareParams,
+    pme: PmeWork,
+    prefix: str,
+    prev_integrate: tuple[str, ...],
+    gpu_initiated: bool,
+) -> str:
+    """Insert the PP->PME->PP round trip; returns the force-arrival task.
+
+    The returned task must join the force-reduction dependencies: long-range
+    forces are part of the total force.
+    """
+    if gpu_initiated:
+        # Projected redesign: a device-side put straight after integration,
+        # signal-gated on both ends — no CPU involvement.
+        xsend = g.add(
+            f"{prefix}pme:xsend",
+            "wire.pme",
+            pme.xfer_us(hw),
+            deps=prev_integrate,
+            kind="comm",
+        ).name
+        pipeline_dep = (xsend,)
+        pipeline_lags = {xsend: hw.signal_us}
+    else:
+        # Today's path: the CPU waits for the update, posts an MPI send.
+        w = g.add(
+            f"{prefix}pme:wait_x", "cpu", hw.cpu_sync_us, deps=prev_integrate, kind="sync"
+        ).name
+        post = g.add(
+            f"{prefix}pme:post_x", "cpu", hw.mpi_call_us, deps=(w,), kind="host"
+        ).name
+        xsend = g.add(
+            f"{prefix}pme:xsend",
+            "wire.pme",
+            hw.mpi_nvlink_alpha_us + pme.n_home * BYTES_PER_ENTRY / hw.nvlink_bw
+            if pme.nvlink
+            else hw.mpi_ib_alpha_us + pme.n_home * BYTES_PER_ENTRY / hw.ib_bw,
+            deps=(post,) + prev_integrate,
+            kind="comm",
+        ).name
+        pipeline_dep = (xsend,)
+        pipeline_lags = {}
+
+    pipeline = g.add(
+        f"{prefix}pme:pipeline",
+        "gpu.pme",
+        pme.pipeline_us(),
+        deps=pipeline_dep,
+        lags=pipeline_lags,
+        kind="kernel",
+    ).name
+
+    if gpu_initiated:
+        freturn = g.add(
+            f"{prefix}pme:freturn",
+            "wire.pme",
+            pme.xfer_us(hw),
+            deps=(pipeline,),
+            lags={pipeline: hw.signal_us},
+            kind="comm",
+        ).name
+        return freturn
+    w2 = g.add(
+        f"{prefix}pme:wait_f", "cpu", hw.cpu_sync_us, deps=(pipeline,), kind="sync"
+    ).name
+    post2 = g.add(
+        f"{prefix}pme:post_f", "cpu", hw.mpi_call_us, deps=(w2,), kind="host"
+    ).name
+    freturn = g.add(
+        f"{prefix}pme:freturn",
+        "wire.pme",
+        hw.mpi_nvlink_alpha_us + pme.n_home * BYTES_PER_ENTRY / hw.nvlink_bw
+        if pme.nvlink
+        else hw.mpi_ib_alpha_us + pme.n_home * BYTES_PER_ENTRY / hw.ib_bw,
+        deps=(post2, pipeline),
+        kind="comm",
+    ).name
+    # The CPU must observe the arrival before launching the reduction.
+    g.add(f"{prefix}pme:wait_ret", "cpu", hw.cpu_sync_us, deps=(freturn,), kind="sync")
+    return freturn

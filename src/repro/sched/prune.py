@@ -1,0 +1,122 @@
+"""End-of-step schedule tail and the Sec. 5.4 prune optimization.
+
+The original GROMACS heterogeneous schedule placed the rolling-prune kernel
+on the update path, where in GPU-resident mode it could execute *before*
+integration and block it, delaying the critical path of the following step.
+The paper's revision (Sec. 5.4):
+
+* prune moves to a dedicated **low-priority** stream and launches at the end
+  of the step (its result only matters by the next pair-list rebuild);
+* reduction + update get a **medium-priority** stream so they preempt
+  pruning.
+
+With the optimization the step's critical path ends at integration; without
+it, prune sits on the update stream in front of integration and stretches
+every step.  The paper measured up to 10% improvement — the ABL-PRUNE
+benchmark reproduces it.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.graph import TaskGraph
+from repro.sched.durations import Durations
+
+
+def add_step_tail(
+    g: TaskGraph,
+    d: Durations,
+    force_done: list[str],
+    local_done: str,
+    prefix: str = "",
+    prune_opt: bool = True,
+    launch_gated: bool = False,
+    graph_captured: bool = False,
+    cpu: str = "cpu",
+) -> dict[str, str]:
+    """Append reduce -> integrate (+ prune, clear) and the step-end marker.
+
+    ``force_done`` are the tasks after which all forces are final;
+    ``launch_gated=True`` makes GPU tasks wait for their CPU launch calls
+    (the MPI schedule — the NVSHMEM schedule launches steps ahead).
+    Returns the boundary task names the next step chains from.
+    """
+    hw = d.hw
+
+    def launch(name: str, extra_dep: tuple[str, ...] = ()) -> tuple[str, ...]:
+        # CUDA-graph capture replays the tail kernels from the step's single
+        # graph launch: no per-kernel launch API calls at all.
+        if graph_captured:
+            return ()
+        t = g.add(
+            f"{prefix}launch_{name}",
+            cpu,
+            hw.launch_us + 1.5 * hw.event_us,
+            deps=extra_dep,
+            kind="launch",
+        )
+        return (t.name,) if launch_gated else ()
+
+    reduce_f = g.add(
+        f"{prefix}reduce_f",
+        "gpu.update",
+        d.reduce(),
+        deps=tuple(force_done) + (local_done,) + launch("reduce"),
+        kind="kernel",
+    ).name
+
+    if not prune_opt:
+        # Legacy schedule: prune shares the update stream ahead of the
+        # integration it blocks.
+        prune = g.add(
+            f"{prefix}prune",
+            "gpu.update",
+            d.prune(),
+            deps=(reduce_f,) + launch("prune"),
+            kind="kernel",
+        ).name
+        integrate_deps = (prune,) + launch("integrate")
+    else:
+        integrate_deps = (reduce_f,) + launch("integrate")
+
+    integrate = g.add(
+        f"{prefix}integrate",
+        "gpu.update",
+        d.integrate(),
+        deps=integrate_deps,
+        kind="kernel",
+    ).name
+    # Constraints, kinetic-energy accumulation, and assorted per-step update
+    # work: coordinates are only final after this (next step's halo and
+    # local kernel chain from it) — the paper's "other tasks" 30-40 us.
+    update_misc = g.add(
+        f"{prefix}update_misc",
+        "gpu.update",
+        d.other_host(),
+        deps=(integrate,) + launch("update_misc"),
+        kind="kernel",
+    ).name
+
+    if prune_opt:
+        # Dedicated low-priority stream: off the critical path entirely.
+        g.add(
+            f"{prefix}prune",
+            "gpu.prune",
+            d.prune(),
+            deps=(reduce_f,) + launch("prune"),
+            kind="kernel",
+        )
+
+    clear = g.add(
+        f"{prefix}clear_bufs",
+        "gpu.local",
+        hw.kernel_min_us,
+        deps=(integrate,) + launch("clear"),
+        kind="kernel",
+    ).name
+    other = g.add(f"{prefix}other_work", cpu, 12.0, kind="host").name
+
+    end_deps = [update_misc, clear, other, local_done, *force_done]
+    if not prune_opt:
+        end_deps.append(f"{prefix}prune")
+    step_end = g.add(f"{prefix}step_end", cpu, 0.0, deps=tuple(end_deps), kind="host").name
+    return {"integrate": update_misc, "clear": clear, "step_end": step_end}

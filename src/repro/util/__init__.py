@@ -1,0 +1,36 @@
+"""Shared utilities: units, deterministic RNG helpers, and table rendering.
+
+These helpers are deliberately dependency-free (NumPy only) so every other
+subpackage can use them without import cycles.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import Table, format_table, write_csv
+from repro.util.units import (
+    FS_PER_PS,
+    NS_PER_DAY_FACTOR,
+    PS_PER_NS,
+    SECONDS_PER_DAY,
+    efficiency,
+    ms_per_step_to_ns_per_day,
+    ns_per_day_to_ms_per_step,
+    speedup,
+    us_to_ms,
+)
+
+__all__ = [
+    "FS_PER_PS",
+    "NS_PER_DAY_FACTOR",
+    "PS_PER_NS",
+    "SECONDS_PER_DAY",
+    "Table",
+    "efficiency",
+    "format_table",
+    "make_rng",
+    "ms_per_step_to_ns_per_day",
+    "ns_per_day_to_ms_per_step",
+    "spawn_rngs",
+    "speedup",
+    "us_to_ms",
+    "write_csv",
+]

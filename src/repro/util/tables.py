@@ -1,0 +1,98 @@
+"""Plain-text table rendering and CSV output for the benchmark harness.
+
+The paper's artifact post-processes mdrun logs into CSVs and figures; our
+harness emits the same rows as aligned ASCII tables (for the terminal) and
+CSV files (for downstream plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-ordered table with append-row semantics."""
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any, **named: Any) -> None:
+        """Append a row given positionally or by column name (not both)."""
+        if values and named:
+            raise ValueError("pass values positionally or by name, not both")
+        if named:
+            missing = set(self.columns) - set(named)
+            extra = set(named) - set(self.columns)
+            if missing or extra:
+                raise ValueError(f"bad row keys: missing={missing}, extra={extra}")
+            row = [named[c] for c in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    f"expected {len(self.columns)} values, got {len(values)}"
+                )
+            row = list(values)
+        self.rows.append(row)
+
+    def sorted_by(self, *cols: str) -> "Table":
+        """Return a copy sorted by the given columns."""
+        idx = [list(self.columns).index(c) for c in cols]
+        out = Table(self.columns, self.title, sorted(self.rows, key=lambda r: tuple(r[i] for i in idx)))
+        return out
+
+    def render(self) -> str:
+        return format_table(self.columns, self.rows, title=self.title)
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(path, self.columns, self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        i = list(self.columns).index(name)
+        return [r[i] for r in self.rows]
+
+
+def format_table(columns: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n")
+    return out.getvalue()
+
+
+def write_csv(path: str | Path, columns: Sequence[str], rows: Iterable[Sequence[Any]]) -> Path:
+    """Write rows to a CSV file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(columns)
+        writer.writerows(rows)
+    return path

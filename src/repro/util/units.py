@@ -1,0 +1,67 @@
+"""Unit conversions used throughout the reproduction.
+
+GROMACS reports simulation throughput as ``ns/day`` (nanoseconds of simulated
+physical time per wall-clock day) and the paper additionally reports the
+iteration rate as ``ms/step``.  With a time-step ``dt`` (in femtoseconds) the
+two are related by::
+
+    ns/day = 86400 [s/day] * dt [fs] * 1e-6 [ns/fs] / (ms_per_step * 1e-3 [s])
+           = 86.4 * dt_fs / ms_per_step
+
+The paper's grappa benchmarks use a 2 fs time-step, giving the familiar
+``ns/day = 172.8 / ms_per_step`` identity (e.g. 1649 ns/day == ~0.105 ms/step,
+matching Fig. 3 and Fig. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_DAY = 86_400.0
+FS_PER_PS = 1_000.0
+PS_PER_NS = 1_000.0
+
+#: ns/day for a 1 ms/step iteration rate at a 2 fs time-step.
+NS_PER_DAY_FACTOR = 172.8
+
+#: Default MD time-step, femtoseconds (matches the grappa benchmark inputs).
+DEFAULT_DT_FS = 2.0
+
+
+def ms_per_step_to_ns_per_day(ms_per_step: float, dt_fs: float = DEFAULT_DT_FS) -> float:
+    """Convert an iteration rate (wall ms per MD step) to simulation ns/day."""
+    if ms_per_step <= 0.0:
+        raise ValueError(f"ms_per_step must be positive, got {ms_per_step}")
+    return SECONDS_PER_DAY * dt_fs * 1e-6 / (ms_per_step * 1e-3)
+
+
+def ns_per_day_to_ms_per_step(ns_per_day: float, dt_fs: float = DEFAULT_DT_FS) -> float:
+    """Convert simulation ns/day to the wall-clock ms per MD step."""
+    if ns_per_day <= 0.0:
+        raise ValueError(f"ns_per_day must be positive, got {ns_per_day}")
+    return SECONDS_PER_DAY * dt_fs * 1e-6 / (ns_per_day * 1e-3)
+
+
+def us_to_ms(us: float) -> float:
+    """Microseconds to milliseconds."""
+    return us * 1e-3
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """Throughput ratio ``candidate / baseline`` (S > 1: candidate faster).
+
+    Matches the artifact-evaluation definition ``S = NVSHMEM / MPI`` used in
+    the paper's appendix.
+    """
+    if baseline <= 0.0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    return candidate / baseline
+
+
+def efficiency(perf: float, base_perf: float, scale: float) -> float:
+    """Strong-scaling parallel efficiency.
+
+    ``perf`` is throughput at ``scale``x the resources of the run that achieved
+    ``base_perf``; perfect scaling gives 1.0.
+    """
+    if base_perf <= 0.0 or scale <= 0.0:
+        raise ValueError("base_perf and scale must be positive")
+    return perf / (base_perf * scale)

@@ -1,0 +1,38 @@
+"""Shared fixtures: small, fast systems sized so every DD grid under test
+keeps periodic extents >= 2*r_list and domain extents >= r_comm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.md import default_forcefield, make_grappa_system
+from repro.md.forcefield import ForceField
+
+
+@pytest.fixture(scope="session")
+def ff() -> ForceField:
+    """Small-cutoff force field for fast functional tests."""
+    return default_forcefield(cutoff=0.65)
+
+
+@pytest.fixture(scope="session")
+def buffer() -> float:
+    return 0.12
+
+
+@pytest.fixture()
+def small_system(ff):
+    """~3k atoms in a 3.1 nm box: supports grids up to 2x2x2 and 3x2x1."""
+    return make_grappa_system(3000, seed=7, ff=ff, dtype=np.float64)
+
+
+@pytest.fixture()
+def small_system_f32(ff):
+    return make_grappa_system(3000, seed=7, ff=ff, dtype=np.float32)
+
+
+@pytest.fixture()
+def tiny_system(ff):
+    """~1.4k atoms: enough for 2-rank decompositions, very fast."""
+    return make_grappa_system(1400, seed=11, ff=ff, dtype=np.float64)

@@ -1,0 +1,154 @@
+"""Figure-regeneration tables: structure and headline claims."""
+
+import pytest
+
+from repro.analysis import (
+    ablation_dep_partitioning,
+    ablation_fused_pulses,
+    ablation_halo_trim,
+    ablation_pinning,
+    ablation_prune,
+    ablation_tma,
+    fig3_intranode,
+    fig4_mnnvl,
+    fig5_multinode,
+    fig6_device_timings_intranode,
+    fig7_device_timings_11k,
+    fig8_device_timings_90k,
+)
+
+
+def _rows(tbl, **filt):
+    cols = list(tbl.columns)
+    out = []
+    for row in tbl.rows:
+        if all(row[cols.index(k)] == v for k, v in filt.items()):
+            out.append(dict(zip(cols, row)))
+    return out
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def tbl(self):
+        return fig3_intranode(sizes=("45k", "180k", "360k"), gpu_counts=(4, 8))
+
+    def test_shape(self, tbl):
+        assert len(tbl.rows) == 3 * 2 * 2
+
+    def test_nvshmem_at_least_parity(self, tbl):
+        for row in _rows(tbl, backend="nvshmem"):
+            assert row["speedup_vs_mpi"] >= 0.99
+
+    def test_45k_headline(self, tbl):
+        (row,) = _rows(tbl, system="45k", gpus=4, backend="nvshmem")
+        assert row["speedup_vs_mpi"] > 1.25
+
+    def test_1d_grids_intranode(self, tbl):
+        for row in _rows(tbl, gpus=4):
+            assert row["grid"].count("x") == 2  # e.g. 1x1x4
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def tbl(self):
+        return fig4_mnnvl(sizes=("720k", "1440k"), node_counts=(1, 2, 4, 8))
+
+    def test_efficiency_monotone_decreasing(self, tbl):
+        for size in ("720k", "1440k"):
+            effs = [r["efficiency"] for r in _rows(tbl, system=size)]
+            assert all(b <= a + 1e-9 for a, b in zip(effs, effs[1:]))
+            assert effs[0] == pytest.approx(1.0)
+
+    def test_larger_system_scales_better(self, tbl):
+        e720 = _rows(tbl, system="720k", nodes=8)[0]["efficiency"]
+        e1440 = _rows(tbl, system="1440k", nodes=8)[0]["efficiency"]
+        assert e1440 > e720
+
+    def test_paper_efficiency_bands(self, tbl):
+        """720k: 84/55/32%; 1440k: 88/71/48% (+-12 points)."""
+        bands = {("720k", 2): 0.84, ("720k", 4): 0.55, ("720k", 8): 0.32,
+                 ("1440k", 2): 0.88, ("1440k", 4): 0.71, ("1440k", 8): 0.48}
+        for (size, nodes), want in bands.items():
+            got = _rows(tbl, system=size, nodes=nodes)[0]["efficiency"]
+            assert got == pytest.approx(want, abs=0.18)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def tbl(self):
+        return fig5_multinode({"720k": (2, 4, 8), "23040k": (2, 288)})
+
+    def test_nvshmem_wins_at_scale(self, tbl):
+        (row,) = _rows(tbl, system="720k", nodes=8, backend="nvshmem")
+        assert row["speedup_vs_mpi"] > 1.1
+        (row,) = _rows(tbl, system="23040k", nodes=288, backend="nvshmem")
+        assert row["speedup_vs_mpi"] > 1.1
+
+    def test_mpi_holds_low_node_large_system(self, tbl):
+        (row,) = _rows(tbl, system="23040k", nodes=2, backend="nvshmem")
+        assert row["speedup_vs_mpi"] <= 1.02
+
+    def test_efficiency_declines(self, tbl):
+        effs = [r["efficiency"] for r in _rows(tbl, system="720k", backend="nvshmem")]
+        assert effs[0] == pytest.approx(1.0) and effs[-1] < effs[0]
+
+
+class TestFig678:
+    def test_fig6_trends(self):
+        tbl = fig6_device_timings_intranode()
+        r45_mpi = _rows(tbl, system="45k", backend="mpi")[0]
+        r45_nvs = _rows(tbl, system="45k", backend="nvshmem")[0]
+        assert r45_nvs["nonlocal_us"] < r45_mpi["nonlocal_us"]
+        r360 = _rows(tbl, system="360k", backend="nvshmem")[0]
+        assert r360["non_overlap_us"] < 0.1 * r360["nonlocal_us"]
+
+    def test_fig7_other_work_constant(self):
+        """Step minus max(local, nonlocal) stays ~30-60 us across DD dims."""
+        tbl = fig7_device_timings_11k()
+        for row in _rows(tbl, backend="nvshmem"):
+            other = row["step_us"] - max(row["local_us"], row["nonlocal_us"])
+            assert 20.0 < other < 70.0
+
+    def test_fig8_nvshmem_faster_2d_3d(self):
+        tbl = fig8_device_timings_90k()
+        for system in ("1440k", "2880k"):
+            mpi = _rows(tbl, system=system, backend="mpi")[0]
+            nvs = _rows(tbl, system=system, backend="nvshmem")[0]
+            assert nvs["step_us"] < mpi["step_us"]
+            assert nvs["local_us"] > mpi["local_us"]  # SM-sharing slowdown
+
+
+class TestAblations:
+    def test_fused_beats_serialized(self):
+        tbl = ablation_fused_pulses()
+        rows = {(r["case"], r["variant"]): r for r in _rows(tbl)}
+        for case in {c for c, _ in rows}:
+            assert rows[(case, "fused")]["step_us"] <= rows[(case, "serialized")]["step_us"]
+
+    def test_dep_partitioning_table_well_formed(self):
+        tbl = ablation_dep_partitioning()
+        assert len(tbl.rows) == 4
+
+    def test_tma_beats_staged(self):
+        tbl = ablation_tma()
+        rows = {(r["case"], r["variant"]): r for r in _rows(tbl)}
+        for case in {c for c, _ in rows}:
+            assert rows[(case, "tma")]["step_us"] <= rows[(case, "staged")]["step_us"]
+
+    def test_prune_gain_up_to_10pct(self):
+        tbl = ablation_prune()
+        gains = [r["gain_pct"] for r in _rows(tbl, variant="optimized")]
+        assert all(0.0 < g < 15.0 for g in gains)
+        assert max(gains) > 5.0
+
+    def test_pinning_slowdown_tens_of_x(self):
+        tbl = ablation_pinning()
+        slow = [r["slowdown"] for r in _rows(tbl, pinning="busy-core")]
+        assert all(s > 10.0 for s in slow)
+        no_penalty = [r["slowdown"] for r in _rows(tbl, pinning="reserve-thread")]
+        assert all(s == pytest.approx(1.0) for s in no_penalty)
+
+    def test_halo_trim_saves_dependent_volume(self):
+        tbl = ablation_halo_trim()
+        for r in _rows(tbl, variant="trimmed"):
+            assert 0.0 < r["saving_pct"] < 20.0

@@ -1,0 +1,52 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_compare(self, capsys):
+        main(["compare", "45k", "--gpus", "4"])
+        out = capsys.readouterr().out
+        assert "nvshmem" in out and "ns_per_day" in out
+
+    def test_compare_numeric_atoms(self, capsys):
+        main(["compare", "100000", "--gpus", "4"])
+        assert "100000" in capsys.readouterr().out
+
+    def test_unknown_system(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["compare", "gromacs"])
+
+    def test_scaling(self, capsys):
+        main(["scaling", "720k", "--machine", "eos", "--gpu-counts", "8", "16"])
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_scaling_skips_invalid(self, capsys):
+        main(["scaling", "45k", "--machine", "eos", "--gpu-counts", "4", "4096"])
+        err = capsys.readouterr().err
+        assert "skipping 4096" in err
+
+    def test_timings(self, capsys):
+        main(["timings", "90k", "--gpus", "8", "--machine", "eos"])
+        assert "nonlocal_us" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        main(["timeline", "45k", "--gpus", "4", "--machine", "dgx-h100", "--width", "60"])
+        out = capsys.readouterr().out
+        assert "legend" in out and "steady-state step" in out
+
+    def test_verify(self, capsys):
+        main(["verify", "--atoms", "1400", "--ranks", "2", "--steps", "4", "--seed", "11"])
+        assert "OK" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_critical(self, capsys):
+        main(["critical", "45k", "--gpus", "4", "--backend", "mpi"])
+        out = capsys.readouterr().out
+        assert "critical path" in out and "breakdown" in out

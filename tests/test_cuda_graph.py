@@ -1,0 +1,54 @@
+"""CUDA-graph capture mode (paper Sec. 5.3 compatibility note)."""
+
+import pytest
+
+from repro.perf.machines import DGX_H100, EOS
+from repro.perf.model import estimate_step, simulate_step
+from repro.perf.workload import grappa_workload
+
+
+class TestCudaGraph:
+    def test_graph_never_slower(self):
+        for n, ranks, machine in [(45_000, 8, DGX_H100), (720_000, 32, EOS)]:
+            wl = grappa_workload(n, ranks, machine)
+            plain = estimate_step(wl, machine, "nvshmem", cuda_graph=False)
+            graph = estimate_step(wl, machine, "nvshmem", cuda_graph=True)
+            assert graph.time_per_step <= plain.time_per_step + 1e-9
+
+    def test_gain_largest_in_latency_bound_regime(self):
+        """Dispatch savings matter at few atoms/GPU, vanish when compute-bound."""
+        gains = []
+        for n in (45_000, 360_000, 2_880_000):
+            wl = grappa_workload(n, 32, EOS)
+            plain = estimate_step(wl, EOS, "nvshmem", cuda_graph=False)
+            graph = estimate_step(wl, EOS, "nvshmem", cuda_graph=True)
+            gains.append((plain.time_per_step - graph.time_per_step) / plain.time_per_step)
+        assert gains[0] > gains[1] > gains[2]
+        assert gains[0] > 0.02
+        assert gains[2] < 0.02
+
+    def test_single_launch_on_cpu_row(self):
+        wl = grappa_workload(45_000, 8, DGX_H100)
+        g, _ = simulate_step(wl, DGX_H100, "nvshmem", cuda_graph=True)
+        launches = [t for t in g.tasks.values() if t.kind == "launch" and t.name.startswith("s1:")]
+        assert len(launches) == 1
+        assert launches[0].name.endswith("launch_graph")
+
+    def test_mpi_cannot_graph_capture(self):
+        """Per-pulse CPU synchronization is incompatible with graph replay."""
+        wl = grappa_workload(45_000, 8, DGX_H100)
+        with pytest.raises(ValueError, match="CUDA graph"):
+            estimate_step(wl, DGX_H100, "mpi", cuda_graph=True)
+
+    def test_ablation_table(self):
+        from repro.analysis import ablation_cuda_graph
+
+        tbl = ablation_cuda_graph()
+        cols = list(tbl.columns)
+        gains = [
+            r[cols.index("gain_pct")]
+            for r in tbl.rows
+            if r[cols.index("variant")] == "graph"
+        ]
+        assert all(g >= 0 for g in gains)
+        assert max(gains) > 2.0

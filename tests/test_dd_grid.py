@@ -1,0 +1,79 @@
+"""DD grid factorization and rank mapping."""
+
+import numpy as np
+import pytest
+
+from repro.dd.grid import DDGrid, choose_grid, halo_volume_estimate
+
+
+class TestDDGrid:
+    def test_rank_coords_roundtrip(self):
+        g = DDGrid((3, 2, 4))
+        assert g.n_ranks == 24
+        seen = set()
+        for r in g.all_ranks():
+            c = g.coords_of_rank(r)
+            assert g.rank_of_coords(c) == r
+            seen.add(c)
+        assert len(seen) == 24
+
+    def test_neighbor_wraps(self):
+        g = DDGrid((4, 1, 1))
+        assert g.neighbor_rank(0, 0, -1) == 3
+        assert g.neighbor_rank(3, 0, 1) == 0
+
+    def test_neighbor_other_dims_fixed(self):
+        g = DDGrid((2, 3, 4))
+        r = g.rank_of_coords((1, 2, 3))
+        n = g.neighbor_rank(r, 1, -1)
+        assert g.coords_of_rank(n) == (1, 1, 3)
+
+    def test_ndim_and_decomposed_dims(self):
+        assert DDGrid((1, 1, 8)).ndim == 1
+        assert DDGrid((1, 4, 4)).ndim == 2
+        assert DDGrid((2, 4, 4)).ndim == 3
+        # Phase (z, y, x) order.
+        assert DDGrid((2, 1, 4)).decomposed_dims() == [2, 0]
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            DDGrid((2, 2, 2)).coords_of_rank(8)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            DDGrid((0, 1, 1))
+
+
+class TestChooseGrid:
+    def test_minimizes_halo_volume(self):
+        box = np.full(3, 8.0)
+        g = choose_grid(4, box, 1.0)
+        # On a cubic box, the 1D slab decomposition has the lowest volume.
+        assert sorted(g.shape) == [1, 1, 4]
+
+    def test_respects_thickness_constraint(self):
+        box = np.full(3, 4.0)
+        g = choose_grid(8, box, 1.0)
+        ext = box / np.array(g.shape)
+        for d in range(3):
+            if g.shape[d] > 1:
+                assert ext[d] >= 1.0
+
+    def test_too_many_ranks_raises(self):
+        with pytest.raises(ValueError):
+            choose_grid(1000, np.full(3, 3.0), 1.0)
+
+    def test_single_rank(self):
+        g = choose_grid(1, np.full(3, 5.0), 1.0)
+        assert g.shape == (1, 1, 1)
+
+    def test_volume_estimate_monotone_in_rc(self):
+        box = np.full(3, 8.0)
+        v1 = halo_volume_estimate((2, 2, 2), box, 0.5)
+        v2 = halo_volume_estimate((2, 2, 2), box, 1.0)
+        assert v2 > v1 > 0
+
+    def test_volume_estimate_undecomposed_dim_free(self):
+        box = np.full(3, 8.0)
+        v = halo_volume_estimate((1, 1, 2), box, 1.0)
+        assert v == pytest.approx(1.0 * 64.0)

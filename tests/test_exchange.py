@@ -1,0 +1,101 @@
+"""Reference coordinate/force exchange and gathers (repro.dd.exchange)."""
+
+import numpy as np
+import pytest
+
+from repro.dd.decomposition import DomainDecomposition
+from repro.dd.exchange import (
+    build_cluster,
+    gather_forces,
+    gather_positions,
+    reference_coordinate_exchange,
+    reference_force_exchange,
+)
+from repro.dd.grid import DDGrid
+
+
+@pytest.fixture()
+def cluster(small_system, ff, buffer):
+    dd = DomainDecomposition(
+        grid=DDGrid((2, 2, 2)), box=small_system.box, r_comm=ff.cutoff + buffer
+    )
+    return build_cluster(small_system, dd, fresh_halo=False)
+
+
+class TestCoordinateExchange:
+    def test_fills_poisoned_halo(self, cluster):
+        for r, rp in enumerate(cluster.plan.ranks):
+            if rp.n_halo:
+                assert np.isnan(cluster.local_pos[r][rp.n_home :]).all()
+        reference_coordinate_exchange(cluster)
+        for r, rp in enumerate(cluster.plan.ranks):
+            assert np.isfinite(cluster.local_pos[r]).all()
+
+    def test_reproduces_plan_positions(self, cluster):
+        reference_coordinate_exchange(cluster)
+        for r, rp in enumerate(cluster.plan.ranks):
+            np.testing.assert_allclose(cluster.local_pos[r], rp.positions, atol=1e-12)
+
+    def test_idempotent(self, cluster):
+        reference_coordinate_exchange(cluster)
+        snap = [p.copy() for p in cluster.local_pos]
+        reference_coordinate_exchange(cluster)
+        for a, b in zip(snap, cluster.local_pos):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestForceExchange:
+    def test_halo_forces_fold_back_to_owner(self, cluster):
+        """Put a unit force on every halo slot; after the reverse exchange
+        each atom's home force equals the number of ranks holding it."""
+        reference_coordinate_exchange(cluster)
+        n = cluster.system.n_atoms
+        copies = np.zeros(n)
+        for r, rp in enumerate(cluster.plan.ranks):
+            cluster.local_forces[r][:] = 0.0
+            cluster.local_forces[r][rp.n_home :] = 1.0
+            np.add.at(copies, rp.global_ids[rp.n_home :], 1.0)
+        reference_force_exchange(cluster)
+        gathered = gather_forces(cluster)
+        np.testing.assert_allclose(gathered[:, 0], copies, atol=1e-9)
+
+    def test_zero_forces_stay_zero(self, cluster):
+        reference_coordinate_exchange(cluster)
+        for r in range(cluster.n_ranks):
+            cluster.local_forces[r][:] = 0.0
+        reference_force_exchange(cluster)
+        assert np.all(gather_forces(cluster) == 0.0)
+
+
+class TestGathers:
+    def test_gather_positions_roundtrip(self, cluster):
+        out = gather_positions(cluster)
+        np.testing.assert_allclose(out, cluster.system.positions, atol=1e-12)
+
+    def test_gather_detects_double_ownership(self, cluster):
+        rp = cluster.plan.ranks[0]
+        other = cluster.plan.ranks[1]
+        # Corrupt: claim an atom of rank 1 as rank 0's home too.
+        rp.global_ids[0] = other.global_ids[0]
+        with pytest.raises(AssertionError):
+            gather_positions(cluster)
+
+
+class TestBuildCluster:
+    def test_local_metadata_consistent(self, cluster):
+        for r, rp in enumerate(cluster.plan.ranks):
+            assert cluster.local_types[r].shape == (rp.n_local,)
+            assert cluster.local_charges[r].shape == (rp.n_local,)
+            assert cluster.local_vel[r].shape == (rp.n_home, 3)
+            assert cluster.local_masses[r].shape == (rp.n_home,)
+            np.testing.assert_array_equal(
+                cluster.local_types[r], cluster.system.type_ids[rp.global_ids]
+            )
+
+    def test_fresh_halo_default(self, small_system, ff, buffer):
+        dd = DomainDecomposition(
+            grid=DDGrid((2, 1, 1)), box=small_system.box, r_comm=ff.cutoff + buffer
+        )
+        c = build_cluster(small_system, dd)
+        for r in range(c.n_ranks):
+            assert np.isfinite(c.local_pos[r]).all()

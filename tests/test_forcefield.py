@@ -1,0 +1,64 @@
+"""Force-field construction and reaction-field constants."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import AtomType, ForceField, default_forcefield
+
+
+class TestReactionField:
+    def test_krf_crf_continuity(self):
+        """V_rf(rc) == 0: the reaction-field potential vanishes at the cutoff."""
+        ff = default_forcefield(cutoff=1.2)
+        rc = ff.cutoff
+        v_at_rc = 1.0 / rc + ff.k_rf * rc**2 - ff.c_rf
+        assert v_at_rc == pytest.approx(0.0, abs=1e-12)
+
+    def test_krf_formula(self):
+        ff = default_forcefield(cutoff=1.0)
+        expected = (78.0 - 1.0) / (2 * 78.0 + 1.0) / 1.0
+        assert ff.k_rf == pytest.approx(expected)
+
+    def test_infinite_epsilon_rf(self):
+        """eps_rf = inf (conducting boundary) gives k_rf = 1/(2 rc^3)."""
+        base = default_forcefield()
+        ff = ForceField(types=base.types, cutoff=1.0, epsilon_rf=np.inf)
+        assert ff.k_rf == pytest.approx(0.5)
+
+
+class TestCombinationRules:
+    def test_c6_c12_symmetry(self):
+        ff = default_forcefield()
+        np.testing.assert_allclose(ff.c6, ff.c6.T)
+        np.testing.assert_allclose(ff.c12, ff.c12.T)
+
+    def test_diagonal_matches_lj(self):
+        ff = default_forcefield()
+        t = ff.types[0]
+        assert ff.c6[0, 0] == pytest.approx(4 * t.epsilon * t.sigma**6)
+        assert ff.c12[0, 0] == pytest.approx(4 * t.epsilon * t.sigma**12)
+
+    def test_lorentz_berthelot(self):
+        ff = default_forcefield()
+        a, b = ff.types[0], ff.types[2]
+        sij = 0.5 * (a.sigma + b.sigma)
+        eij = np.sqrt(a.epsilon * b.epsilon)
+        assert ff.c6[0, 2] == pytest.approx(4 * eij * sij**6)
+
+
+class TestLookups:
+    def test_charges_and_masses_for(self):
+        ff = default_forcefield()
+        ids = np.array([0, 1, 1, 2])
+        q = ff.charges_for(ids)
+        assert q[0] == pytest.approx(-0.4)
+        assert q[1] == pytest.approx(+0.2)
+        assert q[3] == 0.0
+        m = ff.masses_for(ids)
+        assert m[0] > m[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForceField(types=(), cutoff=1.0)
+        with pytest.raises(ValueError):
+            ForceField(types=(AtomType("X", 1.0, 0.0, 0.1, 0.1),), cutoff=-1.0)

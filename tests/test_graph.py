@@ -1,0 +1,105 @@
+"""Task-graph evaluation semantics (repro.gpusim.graph)."""
+
+import pytest
+
+from repro.gpusim.graph import Task, TaskGraph
+
+
+class TestScheduling:
+    def test_fifo_on_one_resource(self):
+        g = TaskGraph()
+        g.add("a", "gpu", 5.0)
+        g.add("b", "gpu", 3.0)
+        g.evaluate()
+        assert g.tasks["a"].start == 0.0 and g.tasks["a"].end == 5.0
+        assert g.tasks["b"].start == 5.0 and g.tasks["b"].end == 8.0
+
+    def test_parallel_resources(self):
+        g = TaskGraph()
+        g.add("a", "gpu1", 5.0)
+        g.add("b", "gpu2", 3.0)
+        g.evaluate()
+        assert g.tasks["b"].start == 0.0
+        assert g.makespan() == 5.0
+
+    def test_cross_resource_dependency(self):
+        g = TaskGraph()
+        g.add("a", "cpu", 2.0)
+        g.add("b", "gpu", 4.0, deps=("a",))
+        g.evaluate()
+        assert g.tasks["b"].start == 2.0
+
+    def test_dependency_lag(self):
+        g = TaskGraph()
+        g.add("send", "wire", 2.0)
+        g.add("consume", "gpu", 1.0, deps=("send",), lags={"send": 1.5})
+        g.evaluate()
+        assert g.tasks["consume"].start == pytest.approx(3.5)
+
+    def test_max_of_resource_and_deps(self):
+        g = TaskGraph()
+        g.add("long", "gpu", 10.0)
+        g.add("dep", "cpu", 1.0)
+        g.add("next", "gpu", 1.0, deps=("dep",))
+        g.evaluate()
+        assert g.tasks["next"].start == 10.0  # resource binds, not the dep
+
+    def test_unknown_dep_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError, match="unknown task"):
+            g.add("x", "r", 1.0, deps=("ghost",))
+
+    def test_duplicate_name_rejected(self):
+        g = TaskGraph()
+        g.add("x", "r", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.add("x", "r", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="x", resource="r", duration=-1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Task(name="x", resource="r", duration=1.0, kind="magic")
+
+
+class TestQueries:
+    def _diamond(self):
+        g = TaskGraph()
+        g.add("src", "a", 1.0)
+        g.add("l", "b", 2.0, deps=("src",))
+        g.add("r", "c", 3.0, deps=("src",))
+        g.add("sink", "a", 1.0, deps=("l", "r"))
+        return g
+
+    def test_makespan(self):
+        g = self._diamond()
+        assert g.makespan() == pytest.approx(5.0)
+
+    def test_by_resource_order(self):
+        g = self._diamond()
+        names = [t.name for t in g.by_resource()["a"]]
+        assert names == ["src", "sink"]
+
+    def test_matching_prefix(self):
+        g = self._diamond()
+        assert [t.name for t in g.matching("s")] == ["src", "sink"]
+
+    def test_busy_time(self):
+        g = self._diamond()
+        assert g.busy_time("a") == pytest.approx(2.0)
+
+    def test_overlap(self):
+        g = self._diamond()
+        assert g.overlap("l", "r") == pytest.approx(2.0)
+        assert g.overlap("src", "sink") == 0.0
+
+    def test_lazy_evaluation(self):
+        g = self._diamond()
+        assert g.end("src") == 1.0  # triggers evaluation implicitly
+        g.add("extra", "a", 1.0)
+        assert g.end("extra") == 6.0  # re-evaluates after mutation
+
+    def test_empty_graph(self):
+        assert TaskGraph().makespan() == 0.0

@@ -1,0 +1,90 @@
+"""Synthetic grappa benchmark systems."""
+
+import numpy as np
+import pytest
+
+from repro.md.grappa import (
+    GRAPPA_DENSITY,
+    GRAPPA_SIZES,
+    grappa_box_length,
+    grappa_label,
+    make_grappa_system,
+)
+
+
+class TestSizes:
+    def test_paper_sizes_present(self):
+        assert GRAPPA_SIZES["45k"] == 45_000
+        assert GRAPPA_SIZES["23040k"] == 23_040_000
+        assert len(GRAPPA_SIZES) == 10
+
+    def test_labels(self):
+        assert grappa_label(45_000) == "45k"
+        assert grappa_label(2_880_000) == "2880k"
+        assert grappa_label(12_000) == "12k"
+        assert grappa_label(12_345) == "12345"
+
+    def test_box_length_density(self):
+        L = grappa_box_length(45_000)
+        assert 45_000 / L**3 == pytest.approx(GRAPPA_DENSITY)
+
+    def test_box_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            grappa_box_length(0)
+
+
+class TestGenerator:
+    def test_basic_properties(self):
+        s = make_grappa_system(3000, seed=1)
+        assert s.n_atoms == 3000
+        assert s.density == pytest.approx(GRAPPA_DENSITY, rel=1e-6)
+        assert s.positions.dtype == np.float32
+        assert np.all(s.positions >= 0) and np.all(s.positions < s.box)
+
+    def test_charge_neutrality(self):
+        s = make_grappa_system(3001, seed=2)  # non-multiple of 3
+        assert abs(float(s.charges.sum())) < 1e-8
+
+    def test_deterministic(self):
+        a = make_grappa_system(900, seed=5)
+        b = make_grappa_system(900, seed=5)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.velocities, b.velocities)
+
+    def test_seed_changes_config(self):
+        a = make_grappa_system(900, seed=5)
+        b = make_grappa_system(900, seed=6)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_no_overlaps(self):
+        """Jittered-lattice placement keeps a safe minimum separation."""
+        s = make_grappa_system(4000, seed=3)
+        from repro.md.cells import periodic_cell_list
+
+        cl = periodic_cell_list(s.box, 0.7)
+        i, j = cl.pairs_within(s.positions.astype(np.float64), 0.7)
+        dx = s.positions[i].astype(np.float64) - s.positions[j].astype(np.float64)
+        dx -= np.rint(dx / s.box) * s.box
+        rmin = np.sqrt((dx * dx).sum(axis=1).min())
+        spacing = s.box[0] / int(np.ceil(4000 ** (1 / 3)))
+        assert rmin > 0.75 * spacing
+
+    def test_temperature(self):
+        from repro.md.integrator import instantaneous_temperature
+
+        s = make_grappa_system(9000, seed=4, temperature=300.0)
+        t = instantaneous_temperature(s.velocities.astype(np.float64), s.masses)
+        assert t == pytest.approx(300.0, rel=0.05)
+
+    def test_type_fractions(self):
+        s = make_grappa_system(30000, seed=7)
+        water_frac = np.mean(s.type_ids == 0)  # one OW per water triple
+        assert water_frac == pytest.approx((1 - 0.125) / 3, abs=0.02)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            make_grappa_system(2)
+
+    def test_dtype_option(self):
+        s = make_grappa_system(300, seed=1, dtype=np.float64)
+        assert s.positions.dtype == np.float64

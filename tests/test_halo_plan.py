@@ -1,0 +1,172 @@
+"""Eighth-shell halo-plan invariants — the algorithmic heart of the paper.
+
+The defining property: every within-cutoff atom pair in the periodic system
+must be *visible* (both atoms present, elementwise-min of zone shifts zero)
+on exactly one rank.  Tested directly against a global periodic pair search
+for 1D/2D/3D grids, with and without the corner-distance trim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dd.decomposition import DomainDecomposition
+from repro.dd.grid import DDGrid
+from repro.dd.halo import build_halo_plan
+from repro.md.cells import periodic_cell_list
+from repro.md import default_forcefield, make_grappa_system
+
+GRIDS = [(2, 1, 1), (1, 2, 1), (1, 1, 3), (2, 2, 1), (2, 2, 2), (3, 2, 1)]
+
+
+@pytest.fixture(scope="module")
+def config():
+    ff = default_forcefield(cutoff=0.65)
+    sys_ = make_grappa_system(3000, seed=17, ff=ff, dtype=np.float64)
+    sys_.wrap()
+    return sys_, 0.75  # r_comm slightly above the cutoff (buffered)
+
+
+def _plan(config, shape, trim=False):
+    sys_, r_comm = config
+    dd = DomainDecomposition(grid=DDGrid(shape), box=sys_.box, r_comm=r_comm)
+    return sys_, dd, build_halo_plan(dd, sys_.positions, trim_corners=trim)
+
+
+def _global_pairs(sys_, rc):
+    cl = periodic_cell_list(sys_.box, rc)
+    i, j = cl.pairs_within(sys_.positions, rc)
+    return set(zip(i.tolist(), j.tolist()))
+
+
+def _assignment_counts(sys_, dd, plan, rc):
+    """For each global within-cutoff pair, how many ranks claim it."""
+    from collections import Counter
+
+    claimed = Counter()
+    periodic = np.array([dd.grid.shape[d] == 1 for d in range(3)])
+    for rp in plan.ranks:
+        pos = rp.positions
+        lo = np.where(periodic, 0.0, pos.min(axis=0) - 1e-9)
+        hi = np.where(periodic, dd.box, pos.max(axis=0) + 1e-9)
+        hi = np.maximum(hi, lo + rc)
+        from repro.md.cells import CellList
+
+        cl = CellList(lo=lo, hi=hi, cutoff=max(rc, dd.r_comm), periodic=periodic)
+        i, j = cl.pairs_within(pos, rc)
+        zs = rp.zone_shift
+        keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
+        gi = rp.global_ids[i[keep]]
+        gj = rp.global_ids[j[keep]]
+        for a, b in zip(gi.tolist(), gj.tolist()):
+            claimed[(min(a, b), max(a, b))] += 1
+    return claimed
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("shape", GRIDS)
+    def test_every_pair_exactly_once(self, config, shape):
+        sys_, dd, plan = _plan(config, shape)
+        rc = 0.7  # interaction range below r_comm
+        want = _global_pairs(sys_, rc)
+        claimed = _assignment_counts(sys_, dd, plan, rc)
+        missing = want - set(claimed)
+        assert not missing, f"{len(missing)} pairs not covered on grid {shape}"
+        dup = {p: c for p, c in claimed.items() if c > 1}
+        assert not dup, f"{len(dup)} pairs double-counted on grid {shape}"
+        extra = set(claimed) - want
+        assert not extra, f"{len(extra)} spurious pairs on grid {shape}"
+
+    @pytest.mark.parametrize("shape", [(2, 2, 1), (2, 2, 2)])
+    def test_trimmed_plan_still_covers(self, config, shape):
+        sys_, dd, plan = _plan(config, shape, trim=True)
+        rc = 0.7
+        want = _global_pairs(sys_, rc)
+        claimed = _assignment_counts(sys_, dd, plan, rc)
+        assert want == set(claimed)
+        assert all(c == 1 for c in claimed.values())
+
+    def test_trim_reduces_volume(self, config):
+        _, _, plain = _plan(config, (2, 2, 2), trim=False)
+        _, _, trimmed = _plan(config, (2, 2, 2), trim=True)
+        assert trimmed.total_sent() < plain.total_sent()
+
+
+class TestStructure:
+    def test_pulse_order_z_y_x(self, config):
+        _, _, plan = _plan(config, (2, 2, 2))
+        assert plan.pulse_dims == [2, 1, 0]
+        assert plan.n_pulses == 3
+
+    def test_undecomposed_dims_have_no_pulse(self, config):
+        _, _, plan = _plan(config, (2, 1, 1))
+        assert plan.pulse_dims == [0]
+
+    def test_sizes_are_symmetric(self, config):
+        """My send size to peer == peer's expected recv size."""
+        _, dd, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            for p in rp.pulses:
+                peer = plan.ranks[p.send_rank].pulses[p.pulse_id]
+                assert peer.recv_size == p.send_size
+                assert peer.recv_rank == rp.rank
+
+    def test_halo_appended_contiguously(self, config):
+        _, _, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            offset = rp.n_home
+            for p in rp.pulses:
+                assert p.atom_offset == offset
+                offset += p.recv_size
+            assert offset == rp.n_local
+
+    def test_dep_split_semantics(self, config):
+        """Independent entries are home atoms; dependent entries reference
+        atoms delivered by exactly the pulses in depends_on."""
+        _, _, plan = _plan(config, (2, 2, 2))
+        saw_dependent = False
+        for rp in plan.ranks:
+            for p in rp.pulses:
+                ind, dep = p.independent_map, p.dependent_map
+                assert np.all(ind < rp.n_home)
+                if dep.size:
+                    saw_dependent = True
+                    assert np.all(dep >= rp.n_home)
+                    src = set(rp.src_pulse[dep].tolist())
+                    assert src == set(p.depends_on)
+                    assert all(k < p.pulse_id for k in src)
+                else:
+                    assert p.depends_on == ()
+        assert saw_dependent, "3D plan must forward some dependent data"
+
+    def test_first_pulse_fully_independent(self, config):
+        _, _, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            p0 = rp.pulses[0]
+            assert p0.dep_offset == p0.send_size
+            assert p0.first_dependent_pulse is None
+
+    def test_coord_shifts_are_box_multiples(self, config):
+        sys_, _, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            for p in rp.pulses:
+                for d in range(3):
+                    s = p.coord_shift[d]
+                    assert s == 0.0 or s == pytest.approx(sys_.box[d])
+
+    def test_halo_positions_are_shifted_originals(self, config):
+        """Every halo coordinate equals its owner's coordinate plus an
+        integer multiple of the box."""
+        sys_, _, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            halo = slice(rp.n_home, rp.n_local)
+            orig = sys_.positions[rp.global_ids[halo]]
+            delta = (rp.positions[halo] - orig) / sys_.box
+            np.testing.assert_allclose(delta, np.rint(delta), atol=1e-9)
+
+    def test_zone_shifts_bounded(self, config):
+        _, _, plan = _plan(config, (2, 2, 2))
+        for rp in plan.ranks:
+            assert rp.zone_shift.min() >= 0
+            assert rp.zone_shift.max() <= 1  # one pulse per dimension
+            # Home atoms have zero shift.
+            assert np.all(rp.zone_shift[: rp.n_home] == 0)

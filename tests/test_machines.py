@@ -1,0 +1,62 @@
+"""Machine descriptions and per-pulse transport decisions."""
+
+import pytest
+
+from repro.dd.grid import DDGrid
+from repro.perf.constants import GB200_PARAMS, H100_PARAMS
+from repro.perf.machines import DGX_H100, EOS, GB200_NVL72, Machine, machine_by_name
+
+
+class TestHardwareParams:
+    def test_overrides_are_copies(self):
+        hw = H100_PARAMS.with_overrides(launch_us=99.0)
+        assert hw.launch_us == 99.0
+        assert H100_PARAMS.launch_us != 99.0
+
+    def test_gb200_is_faster(self):
+        assert GB200_PARAMS.pair_rate > H100_PARAMS.pair_rate
+        assert GB200_PARAMS.nvlink_bw > H100_PARAMS.nvlink_bw
+
+    def test_paper_latency_ranges(self):
+        """Sec. 3: launches 2-10 us, event management < 1 us."""
+        for hw in (H100_PARAMS, GB200_PARAMS):
+            assert 2.0 <= hw.launch_us <= 10.0
+            assert hw.event_us < 1.0
+
+
+class TestMachines:
+    def test_lookup(self):
+        assert machine_by_name("eos") is EOS
+        with pytest.raises(KeyError):
+            machine_by_name("frontier")
+
+    def test_node_counts(self):
+        assert EOS.n_nodes(32) == 8
+        assert EOS.n_nodes(30) == 8  # ceil
+        assert DGX_H100.n_nodes(8) == 1
+
+    def test_single_node_always_nvlink(self):
+        g = DDGrid((2, 2, 2))
+        for d in range(3):
+            assert DGX_H100.pulse_is_nvlink(g, d)
+
+    def test_mnnvl_ignores_node_boundaries(self):
+        g = DDGrid((4, 4, 4))  # 64 ranks across 16 GB200 nodes
+        for d in range(3):
+            assert GB200_NVL72.pulse_is_nvlink(g, d)
+
+    def test_eos_x_dim_intra_when_small(self):
+        g = DDGrid((4, 4, 2))  # nx=4 == gpus/node: x neighbours share a node
+        assert EOS.pulse_is_nvlink(g, 0)
+        assert not EOS.pulse_is_nvlink(g, 1)
+        assert not EOS.pulse_is_nvlink(g, 2)
+
+    def test_eos_wide_x_crosses_nodes(self):
+        g = DDGrid((8, 2, 2))
+        assert not EOS.pulse_is_nvlink(g, 0)
+
+    def test_worst_case_rule(self):
+        """One cross-node pair in a ring demotes the whole pulse."""
+        machine = Machine(name="toy", gpus_per_node=3, hw=H100_PARAMS)
+        g = DDGrid((4, 1, 1))  # ranks 0..3, nodes {0,1,2},{3}
+        assert not machine.pulse_is_nvlink(g, 0)

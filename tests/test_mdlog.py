@@ -1,0 +1,61 @@
+"""mdrun-style logs and the artifact-style parser."""
+
+import pytest
+
+from repro.analysis.mdlog import (
+    collect_performance,
+    log_simulated_sweep,
+    parse_log,
+    write_log,
+)
+from repro.perf.machines import DGX_H100
+
+
+class TestWriteParse:
+    def test_roundtrip(self, tmp_path):
+        p = write_log(
+            tmp_path / "run.log", label="45k_4r_nvshmem", backend="nvshmem",
+            n_ranks=4, n_atoms=45_000, time_per_step_us=100.0, grid=(1, 1, 4),
+        )
+        rec = parse_log(p)
+        assert rec.label == "45k_4r_nvshmem"
+        assert rec.backend == "nvshmem"
+        assert rec.n_ranks == 4
+        assert rec.n_atoms == 45_000
+        assert rec.ns_per_day == pytest.approx(1728.0)
+        assert rec.ms_per_step == pytest.approx(0.1)
+
+    def test_log_has_gromacs_footer(self, tmp_path):
+        p = write_log(tmp_path / "x.log", "l", "mpi", 2, 100, 50.0)
+        text = p.read_text()
+        assert "Performance:" in text
+        assert "(ns/day)" in text
+
+    def test_extra_fields(self, tmp_path):
+        p = write_log(tmp_path / "x.log", "l", "mpi", 2, 100, 50.0,
+                      extra={"nstlist": 200})
+        assert "nstlist: 200" in p.read_text()
+
+    def test_parse_rejects_incomplete(self, tmp_path):
+        bad = tmp_path / "crash.log"
+        bad.write_text("Log file opened: crashed\nRunning on 4 MPI ranks\n")
+        with pytest.raises(ValueError, match="Performance"):
+            parse_log(bad)
+
+
+class TestSweep:
+    def test_sweep_writes_and_collects(self, tmp_path):
+        logs = log_simulated_sweep(
+            tmp_path, sizes=[45_000, 180_000], rank_counts=[4], machine=DGX_H100
+        )
+        assert len(logs) == 4  # 2 sizes x 2 backends
+        tbl = collect_performance(tmp_path)
+        assert len(tbl.rows) == 4
+        by = dict(zip(tbl.column("label"), tbl.column("ns_per_day")))
+        assert by["45k_4r_nvshmem"] > by["45k_4r_mpi"]
+
+    def test_sweep_skips_invalid_grids(self, tmp_path):
+        logs = log_simulated_sweep(
+            tmp_path, sizes=[45_000], rank_counts=[4096], machine=DGX_H100
+        )
+        assert logs == []

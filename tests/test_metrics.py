@@ -1,0 +1,99 @@
+"""Scaling metrics (repro.perf.metrics) and pinning/durations units."""
+
+import pytest
+
+from repro.perf.constants import H100_PARAMS
+from repro.perf.machines import DGX_H100
+from repro.perf.metrics import ScalingPoint, scaling_series
+from repro.perf.workload import grappa_workload
+from repro.sched.durations import Durations
+from repro.sched.pinning import PINNING_MODES, apply_pinning
+
+
+class TestScalingSeries:
+    def test_efficiency_relative_to_first_point(self):
+        pts = [
+            ScalingPoint("a", 4, 1, 200.0),
+            ScalingPoint("b", 8, 2, 120.0),  # 1.67x speedup on 2x GPUs
+        ]
+        out = scaling_series(pts)
+        assert out[0]["efficiency"] == pytest.approx(1.0)
+        assert out[1]["efficiency"] == pytest.approx((200.0 / 120.0) / 2.0)
+
+    def test_ns_per_day_property(self):
+        p = ScalingPoint("x", 4, 1, 1000.0)  # 1 ms/step
+        assert p.ns_per_day == pytest.approx(172.8)
+        assert p.ms_per_step == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert scaling_series([]) == []
+
+
+class TestPinning:
+    def test_modes(self):
+        assert set(PINNING_MODES) == {"rank-pinning", "reserve-thread", "busy-core"}
+
+    def test_rank_and_reserve_identical(self):
+        a = apply_pinning(H100_PARAMS, "rank-pinning")
+        b = apply_pinning(H100_PARAMS, "reserve-thread")
+        assert a == b == H100_PARAMS
+
+    def test_busy_core_degrades_ib_only(self):
+        bad = apply_pinning(H100_PARAMS, "busy-core")
+        assert bad.ib_proxy_us > 100 * H100_PARAMS.ib_proxy_us
+        assert bad.ib_bw < H100_PARAMS.ib_bw
+        assert bad.nvlink_bw == H100_PARAMS.nvlink_bw
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            apply_pinning(H100_PARAMS, "duct-tape")
+
+
+class TestDurations:
+    @pytest.fixture(scope="class")
+    def d(self):
+        wl = grappa_workload(180_000, 4, DGX_H100)
+        return Durations(hw=DGX_H100.hw, wl=wl)
+
+    def test_all_durations_positive(self, d):
+        for val in (
+            d.local_nb(), d.nonlocal_nb(), d.bonded(), d.pack(100),
+            d.pack_chunk(100), d.integrate(), d.reduce(), d.prune(),
+            d.other_host(),
+        ):
+            assert val > 0
+
+    def test_pack_floor(self, d):
+        assert d.pack(1) == d.hw.kernel_min_us
+        assert d.pack_chunk(1) < d.hw.kernel_min_us
+
+    def test_wire_nvlink_vs_ib(self, d):
+        """NVSHMEM one-sided NVLink beats IB at any size; for MPI the
+        bandwidth gap dominates at large payloads (intra-node MPI carries a
+        higher per-message cost through the IPC/staging path, so tiny
+        messages can invert)."""
+        import dataclasses
+
+        p_nvl = dataclasses.replace(d.wl.pulses[0], send_atoms=500_000.0)
+        assert p_nvl.nvlink
+        p_ib = dataclasses.replace(p_nvl, nvlink=False)
+        assert d.wire(p_ib) > d.wire(p_nvl)
+        assert d.mpi_wire(p_ib) > d.mpi_wire(p_nvl)
+        tiny_nvl = dataclasses.replace(p_nvl, send_atoms=10.0)
+        tiny_ib = dataclasses.replace(tiny_nvl, nvlink=False)
+        assert d.wire(tiny_ib) > d.wire(tiny_nvl)
+
+    def test_wire_scales_with_size(self, d):
+        p = d.wl.pulses[0]
+        assert d.wire(p, n_atoms=p.send_atoms * 10) > d.wire(p)
+
+    def test_tma_tail_smaller_than_full_wire(self, d):
+        p = d.wl.pulses[0]
+        assert d.tma_tail(p) < d.wire(p)
+
+    def test_local_kernel_affine_in_pairs(self):
+        wl_a = grappa_workload(45_000, 4, DGX_H100)
+        wl_b = grappa_workload(360_000, 4, DGX_H100)
+        da, db = Durations(DGX_H100.hw, wl_a), Durations(DGX_H100.hw, wl_b)
+        slope = (db.local_nb() - da.local_nb()) / (wl_b.pairs_local - wl_a.pairs_local)
+        assert slope == pytest.approx(1.0 / DGX_H100.hw.pair_rate)

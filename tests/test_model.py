@@ -1,0 +1,171 @@
+"""End-to-end timing model: the paper's headline performance claims."""
+
+import pytest
+
+from repro.gpusim.trace import StepTimings
+from repro.perf.machines import DGX_H100, EOS, GB200_NVL72
+from repro.perf.model import estimate_step, simulate_step
+from repro.perf.workload import grappa_workload
+from repro.util.units import ms_per_step_to_ns_per_day
+
+
+def nsday(t: StepTimings) -> float:
+    return ms_per_step_to_ns_per_day(t.time_per_step * 1e-3)
+
+
+class TestHeadlineClaims:
+    def test_nvshmem_wins_intranode_small(self):
+        """The 45k/4-GPU headline: NVSHMEM ~46% faster (we reproduce >30%)."""
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        s = nsday(estimate_step(wl, DGX_H100, "nvshmem")) / nsday(
+            estimate_step(wl, DGX_H100, "mpi")
+        )
+        assert 1.25 <= s <= 1.6
+
+    def test_gap_shrinks_with_system_size(self):
+        """Fig. 3's compute-bound convergence."""
+        ratios = []
+        for n in (45_000, 180_000, 360_000):
+            wl = grappa_workload(n, 4, DGX_H100)
+            ratios.append(
+                nsday(estimate_step(wl, DGX_H100, "nvshmem"))
+                / nsday(estimate_step(wl, DGX_H100, "mpi"))
+            )
+        assert ratios[0] > ratios[1] > ratios[2]
+        assert ratios[2] < 1.15  # near-parity at 90k atoms/GPU
+
+    def test_mpi_wins_for_huge_systems_low_nodes(self):
+        """Fig. 5: 'MPI retains a slight advantage at lower node counts'
+        for very large atoms-per-GPU (NVSHMEM's SM sharing costs more than
+        its latency savings buy)."""
+        wl = grappa_workload(23_040_000, 8, EOS)
+        s = nsday(estimate_step(wl, EOS, "nvshmem")) / nsday(estimate_step(wl, EOS, "mpi"))
+        assert s <= 1.02
+
+    def test_nvshmem_advantage_grows_at_scale(self):
+        wl_small = grappa_workload(720_000, 8, EOS)
+        wl_big = grappa_workload(720_000, 32, EOS)
+        s_small = nsday(estimate_step(wl_small, EOS, "nvshmem")) / nsday(
+            estimate_step(wl_small, EOS, "mpi")
+        )
+        s_big = nsday(estimate_step(wl_big, EOS, "nvshmem")) / nsday(
+            estimate_step(wl_big, EOS, "mpi")
+        )
+        assert s_big > s_small
+
+    def test_local_work_per_atom_in_paper_range(self):
+        """Sec. 6.3: local non-bonded work of 1.7-2.0 ns/atom."""
+        for n, ranks in [(45_000, 4), (360_000, 4)]:
+            wl = grappa_workload(n, ranks, DGX_H100)
+            t = estimate_step(wl, DGX_H100, "nvshmem")
+            ns_per_atom = t.local_work * 1e3 / wl.n_home
+            assert 1.6 <= ns_per_atom <= 2.1
+
+    def test_fig6_nonlocal_anchor_points(self):
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        t_mpi = estimate_step(wl, DGX_H100, "mpi")
+        t_nvs = estimate_step(wl, DGX_H100, "nvshmem")
+        # Paper: 116 vs 64 us; allow +-25% bands.
+        assert t_mpi.nonlocal_work == pytest.approx(116, rel=0.25)
+        assert t_nvs.nonlocal_work == pytest.approx(64, rel=0.25)
+
+    def test_nonlocal_fully_overlapped_at_large_size(self):
+        """Fig. 6 at 90k atoms/GPU: NVSHMEM non-local fully overlaps local."""
+        wl = grappa_workload(360_000, 4, DGX_H100)
+        t = estimate_step(wl, DGX_H100, "nvshmem")
+        assert t.non_overlap < 0.1 * t.nonlocal_work
+
+    def test_gb200_720k_absolute(self):
+        """Fig. 4 anchor: 492 ns/day for 720k on one NVL72 node."""
+        wl = grappa_workload(720_000, 4, GB200_NVL72)
+        t = estimate_step(wl, GB200_NVL72, "nvshmem")
+        assert nsday(t) == pytest.approx(492, rel=0.15)
+
+
+class TestDeviceTimingTrends:
+    def test_fig7_pulse_scaling(self):
+        """1D->2D non-local growth modest; 2D->3D adds ~45% (paper Fig. 7)."""
+        spans = {}
+        for n, ranks in [(90_000, 8), (180_000, 16), (360_000, 32)]:
+            wl = grappa_workload(n, ranks, EOS)
+            spans[wl.n_dims] = estimate_step(wl, EOS, "nvshmem").nonlocal_work
+        assert spans[2] / spans[1] < 1.5
+        assert 1.15 < spans[3] / spans[2] < 1.9
+
+    def test_fig8_nvshmem_faster_in_2d_3d(self):
+        for n, ranks in [(1_440_000, 16), (2_880_000, 32)]:
+            wl = grappa_workload(n, ranks, EOS)
+            t_mpi = estimate_step(wl, EOS, "mpi")
+            t_nvs = estimate_step(wl, EOS, "nvshmem")
+            assert t_nvs.nonlocal_work < t_mpi.nonlocal_work
+            assert t_nvs.time_per_step < t_mpi.time_per_step
+
+    def test_sm_sharing_slows_local_work(self):
+        """NVSHMEM's resource sharing shows up as slower local work."""
+        wl = grappa_workload(1_440_000, 16, EOS)
+        t_mpi = estimate_step(wl, EOS, "mpi")
+        t_nvs = estimate_step(wl, EOS, "nvshmem")
+        assert t_nvs.local_work > t_mpi.local_work
+
+
+class TestModelKnobs:
+    def test_unknown_backend_rejected(self):
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        with pytest.raises(ValueError):
+            estimate_step(wl, DGX_H100, backend="gossip")
+
+    def test_needs_two_steps(self):
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        with pytest.raises(ValueError):
+            estimate_step(wl, DGX_H100, n_steps=1)
+
+    def test_simulate_returns_graph(self):
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        g, t = simulate_step(wl, DGX_H100)
+        assert g.makespan() > 0
+        assert t.time_per_step > 0
+
+    def test_fusion_helps(self):
+        wl = grappa_workload(360_000, 32, EOS)
+        fused = estimate_step(wl, EOS, "nvshmem", fused=True)
+        serial = estimate_step(wl, EOS, "nvshmem", fused=False)
+        assert fused.nonlocal_work < serial.nonlocal_work
+
+    def test_dep_partitioning_speeds_halo_completion(self):
+        """The depOffset split packs independent entries during the waits, so
+        the last pulse's data arrives earlier.  (The *measured span* can
+        start earlier too — packing begins at t=0 — so the honest metric is
+        the halo completion time, not the span.)"""
+        wl = grappa_workload(360_000, 32, EOS)
+
+        def last_arrival(dep_partitioning: bool) -> float:
+            g, _ = simulate_step(wl, EOS, "nvshmem", dep_partitioning=dep_partitioning)
+            return max(
+                t.end for t in g.tasks.values()
+                if t.name.startswith("s3:nonlocal:xfer")
+            ) - g.tasks["s2:step_end"].end
+
+        assert last_arrival(True) < last_arrival(False)
+
+    def test_busy_core_pinning_catastrophic(self):
+        """Sec. 5.5: tens-of-x slowdown from a mis-pinned proxy thread."""
+        wl = grappa_workload(720_000, 32, EOS)
+        good = estimate_step(wl, EOS, "nvshmem", pinning="rank-pinning")
+        bad = estimate_step(wl, EOS, "nvshmem", pinning="busy-core")
+        assert bad.time_per_step / good.time_per_step > 10.0
+
+    def test_pinning_irrelevant_intranode(self):
+        """No IB messages -> no proxy to mis-pin."""
+        wl = grappa_workload(180_000, 8, DGX_H100)
+        good = estimate_step(wl, DGX_H100, "nvshmem", pinning="rank-pinning")
+        bad = estimate_step(wl, DGX_H100, "nvshmem", pinning="busy-core")
+        assert bad.time_per_step == pytest.approx(good.time_per_step, rel=1e-9)
+
+    def test_prune_opt_gain_in_paper_range(self):
+        """Sec. 5.4: up to ~10% for both implementations."""
+        wl = grappa_workload(45_000, 4, DGX_H100)
+        for be in ("mpi", "nvshmem"):
+            on = estimate_step(wl, DGX_H100, be, prune_opt=True)
+            off = estimate_step(wl, DGX_H100, be, prune_opt=False)
+            gain = (off.time_per_step - on.time_per_step) / off.time_per_step
+            assert 0.0 < gain < 0.15

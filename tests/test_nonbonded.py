@@ -1,0 +1,149 @@
+"""Non-bonded kernel: forces, energies, and physical invariants."""
+
+import numpy as np
+import pytest
+
+from repro.md.cells import periodic_cell_list
+from repro.md.forcefield import COULOMB_FACTOR, default_forcefield
+from repro.md.nonbonded import NonbondedKernel, pair_forces
+
+
+@pytest.fixture(scope="module")
+def ff():
+    return default_forcefield(cutoff=1.0)
+
+
+def two_atoms(ff, r, q=(0.0, 0.0), types=(0, 0)):
+    pos = np.array([[0.0, 0.0, 0.0], [r, 0.0, 0.0]])
+    i = np.array([0])
+    j = np.array([1])
+    tid = np.array(types, dtype=np.int32)
+    charges = np.array(q)
+    return pair_forces(pos, i, j, tid, charges, ff)
+
+
+class TestTwoBody:
+    def test_newton_third_law(self, ff):
+        f, _, _ = two_atoms(ff, 0.3, q=(0.2, -0.2))
+        np.testing.assert_allclose(f[0], -f[1], rtol=1e-12)
+
+    def test_lj_repulsive_inside_minimum(self, ff):
+        sigma = ff.types[0].sigma
+        f, _, _ = two_atoms(ff, 0.8 * sigma)
+        assert f[0][0] < 0  # pushed apart (atom 0 toward -x)
+        assert f[1][0] > 0
+
+    def test_lj_attractive_outside_minimum(self, ff):
+        sigma = ff.types[0].sigma
+        f, _, _ = two_atoms(ff, 1.5 * sigma)
+        assert f[0][0] > 0  # pulled together
+
+    def test_lj_force_zero_at_minimum(self, ff):
+        rmin = 2 ** (1 / 6) * ff.types[0].sigma
+        f, _, _ = two_atoms(ff, rmin)
+        np.testing.assert_allclose(f[0], 0.0, atol=1e-8)
+
+    def test_beyond_cutoff_zero(self, ff):
+        f, e_lj, e_c = two_atoms(ff, ff.cutoff * 1.01, q=(0.4, 0.4))
+        assert np.all(f == 0.0) and e_lj == 0.0 and e_c == 0.0
+
+    def test_coulomb_rf_sign(self, ff):
+        f_pp, _, e_pp = two_atoms(ff, 0.5, q=(0.3, 0.3))
+        f_pm, _, e_pm = two_atoms(ff, 0.5, q=(0.3, -0.3))
+        # Like charges repel relative to opposite charges.
+        assert f_pp[1][0] > f_pm[1][0]
+        assert e_pp > e_pm
+
+    def test_rf_energy_zero_at_cutoff(self, ff):
+        _, _, e_c = two_atoms(ff, ff.cutoff - 1e-9, q=(0.5, 0.5))
+        assert abs(e_c) < 1e-6
+
+    def test_force_matches_numeric_gradient(self, ff):
+        """F = -dV/dr for the combined LJ + RF interaction."""
+        r = 0.31
+        h = 1e-6
+        q = (0.3, -0.2)
+
+        def energy(rr):
+            _, e_lj, e_c = two_atoms(ff, rr, q=q)
+            return e_lj + e_c
+
+        f, _, _ = two_atoms(ff, r, q=q)
+        dvdr = (energy(r + h) - energy(r - h)) / (2 * h)
+        assert f[1][0] == pytest.approx(-dvdr, rel=1e-5)
+
+    def test_overlap_raises(self, ff):
+        with pytest.raises(FloatingPointError):
+            two_atoms(ff, 0.0)
+
+
+class TestBulk:
+    def _bulk(self, ff, n=200, seed=0, dtype=np.float64):
+        rng = np.random.default_rng(seed)
+        box = np.array([3.0, 3.0, 3.0])
+        # Jittered lattice to avoid overlaps.
+        side = int(np.ceil(n ** (1 / 3)))
+        idx = rng.choice(side**3, n, replace=False)
+        pos = np.stack([idx // side**2, (idx // side) % side, idx % side], axis=1)
+        pos = (pos + 0.5) * (3.0 / side) + rng.uniform(-0.05, 0.05, (n, 3))
+        pos = np.mod(pos, box).astype(dtype)
+        tid = rng.integers(0, 3, n).astype(np.int32)
+        q = ff.charges_for(tid)
+        cl = periodic_cell_list(box, ff.cutoff)
+        i, j = cl.pairs_within(pos, ff.cutoff)
+        return pos, i, j, tid, q, box
+
+    def test_momentum_conservation(self, ff):
+        pos, i, j, tid, q, box = self._bulk(ff)
+        f, _, _ = pair_forces(pos, i, j, tid, q, ff, box=box)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_buffered_list_gives_identical_forces(self, ff):
+        """Extra out-of-range pairs in a buffered list contribute nothing."""
+        pos, i, j, tid, q, box = self._bulk(ff)
+        f1, e1, c1 = pair_forces(pos, i, j, tid, q, ff, box=box)
+        cl = periodic_cell_list(box, ff.cutoff + 0.2)
+        ib, jb = cl.pairs_within(pos, ff.cutoff + 0.2)
+        f2, e2, c2 = pair_forces(pos, ib, jb, tid, q, ff, box=box)
+        np.testing.assert_allclose(f1, f2, atol=1e-9)
+        assert e1 == pytest.approx(e2) and c1 == pytest.approx(c2)
+
+    def test_empty_pairs(self, ff):
+        pos = np.zeros((3, 3))
+        f, e, c = pair_forces(
+            pos, np.empty(0, np.int64), np.empty(0, np.int64),
+            np.zeros(3, np.int32), np.zeros(3), ff,
+        )
+        assert np.all(f == 0) and e == 0 and c == 0
+
+    def test_out_forces_accumulates_into_given_buffer(self, ff):
+        pos, i, j, tid, q, box = self._bulk(ff, n=50)
+        buf = np.zeros((50, 3))
+        out, _, _ = pair_forces(pos, i, j, tid, q, ff, box=box, out_forces=buf)
+        assert out is buf
+        assert np.any(buf != 0)
+
+    def test_out_forces_shape_checked(self, ff):
+        pos, i, j, tid, q, box = self._bulk(ff, n=50)
+        with pytest.raises(ValueError):
+            pair_forces(pos, i, j, tid, q, ff, box=box, out_forces=np.zeros((3, 3)))
+
+    def test_kernel_wrapper_equivalent(self, ff):
+        pos, i, j, tid, q, box = self._bulk(ff, n=80)
+        k = NonbondedKernel(ff)
+        f1, e1, c1 = k.compute(pos, i, j, tid, q, box=box)
+        f2, e2, c2 = pair_forces(pos, i, j, tid, q, ff, box=box)
+        np.testing.assert_array_equal(f1, f2)
+        assert (e1, c1) == (e2, c2)
+
+    def test_float32_forces_close_to_float64(self, ff):
+        pos, i, j, tid, q, box = self._bulk(ff, n=200)
+        f64, _, _ = pair_forces(pos, i, j, tid, q, ff, box=box)
+        f32, _, _ = pair_forces(
+            pos.astype(np.float32), i, j, tid, q, ff, box=box
+        )
+        scale = np.abs(f64).max()
+        np.testing.assert_allclose(f32, f64, atol=2e-4 * scale)
+
+    def test_coulomb_factor_value(self):
+        assert COULOMB_FACTOR == pytest.approx(138.935458)

@@ -1,0 +1,79 @@
+"""Symmetric heap: the collective-allocation contract (paper Sec. 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.nvshmem.heap import SymmetricAllocationError, SymmetricHeap
+
+
+@pytest.fixture()
+def heap():
+    return SymmetricHeap(n_pes=4)
+
+
+class TestCollectiveAllocation:
+    def test_alloc_all(self, heap):
+        buf = heap.alloc_all("coords", (10, 3))
+        assert buf.complete
+        assert buf.on(2).shape == (10, 3)
+
+    def test_partial_allocation_unusable(self, heap):
+        """The PP/PME rank-specialization failure mode: a buffer allocated by
+        a subset of PEs cannot be used — NVSHMEM allocations are COMM_WORLD
+        collectives."""
+        for pe in (0, 1, 2):  # PE 3 (a 'PME rank') never joins
+            buf = heap.alloc(pe, "pp_only", (5,))
+        with pytest.raises(SymmetricAllocationError, match="PEs \\[3\\]"):
+            buf.on(0)
+
+    def test_mismatched_shape_rejected(self, heap):
+        heap.alloc(0, "b", (5,))
+        with pytest.raises(SymmetricAllocationError, match="identical"):
+            heap.alloc(1, "b", (6,))
+
+    def test_mismatched_dtype_rejected(self, heap):
+        heap.alloc(0, "c", (5,), dtype=np.float32)
+        with pytest.raises(SymmetricAllocationError):
+            heap.alloc(1, "c", (5,), dtype=np.float64)
+
+    def test_double_join_rejected(self, heap):
+        heap.alloc(0, "d", (5,))
+        with pytest.raises(SymmetricAllocationError, match="already joined"):
+            heap.alloc(0, "d", (5,))
+
+    def test_pe_range_checked(self, heap):
+        with pytest.raises(ValueError):
+            heap.alloc(4, "e", (5,))
+
+    def test_arrays_are_per_pe(self, heap):
+        buf = heap.alloc_all("f", (3,))
+        buf.on(0)[:] = 1.0
+        assert np.all(buf.on(1) == 0.0)
+
+
+class TestFootprintAndRegistration:
+    def test_total_bytes_counts_every_buffer(self, heap):
+        heap.alloc_all("a", (10,), dtype=np.float32)
+        heap.alloc_all("b", (5, 3), dtype=np.float64)
+        assert heap.total_bytes() == 10 * 4 + 15 * 8
+
+    def test_names_sorted(self, heap):
+        heap.alloc_all("zz", (1,))
+        heap.alloc_all("aa", (1,))
+        assert heap.names() == ["aa", "zz"]
+
+    def test_get_unknown_raises(self, heap):
+        with pytest.raises(KeyError):
+            heap.get("nope")
+
+    def test_buffer_register(self, heap):
+        """nvshmemx_buffer_register: non-symmetric arrays usable as sources."""
+        arr = np.zeros(7)
+        heap.register_buffer(1, arr)
+        assert heap.is_registered(1, arr)
+        assert not heap.is_registered(0, arr)
+        assert not heap.is_registered(1, np.zeros(7))  # identity, not equality
+
+    def test_invalid_pe_count(self):
+        with pytest.raises(ValueError):
+            SymmetricHeap(0)

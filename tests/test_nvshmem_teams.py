@@ -1,0 +1,115 @@
+"""Team-based symmetric allocation (the paper's Sec. 5.3 future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.nvshmem.heap import SymmetricAllocationError
+from repro.nvshmem.runtime import NodeTopology, NvshmemRuntime
+from repro.nvshmem.teams import NvshmemTeam, TeamError, split_pp_pme, team_split
+
+
+@pytest.fixture()
+def rt():
+    return NvshmemRuntime(NodeTopology(n_pes=8, pes_per_node=4))
+
+
+class TestConstruction:
+    def test_split(self, rt):
+        team = team_split(rt, "pp", [0, 1, 2, 5])
+        assert team.n_pes == 4
+        assert team.world_pe(3) == 5
+        assert team.team_pe(5) == 3
+        assert team.contains(5) and not team.contains(4)
+
+    def test_validation(self, rt):
+        with pytest.raises(TeamError):
+            team_split(rt, "empty", [])
+        with pytest.raises(TeamError):
+            team_split(rt, "dup", [0, 0])
+        with pytest.raises(TeamError):
+            team_split(rt, "oob", [99])
+        with pytest.raises(TeamError):
+            team_split(rt, "t", [0, 1]).team_pe(7)
+        with pytest.raises(TeamError):
+            team_split(rt, "t", [0, 1]).world_pe(5)
+
+    def test_pp_pme_split(self, rt):
+        pp, pme = split_pp_pme(rt, n_pme=2)
+        assert pp.world_pes == (0, 1, 2, 3, 4, 5)
+        assert pme.world_pes == (6, 7)
+        with pytest.raises(TeamError):
+            split_pp_pme(rt, 0)
+        with pytest.raises(TeamError):
+            split_pp_pme(rt, 8)
+
+
+class TestRankSpecialization:
+    """The exact scenario Sec. 5.3 describes: PP-only halo buffers."""
+
+    def test_world_alloc_forces_pme_participation(self, rt):
+        """Status quo (NVSHMEM today): a PP-only allocation through the
+        world heap is unusable until PME ranks redundantly join."""
+        pp, pme = split_pp_pme(rt, n_pme=2)
+        for pe in pp.world_pes:
+            buf = rt.heap.alloc(pe, "haloCoords", (100, 3))
+        with pytest.raises(SymmetricAllocationError, match="collective"):
+            buf.on(0)
+
+    def test_team_alloc_excludes_pme(self, rt):
+        """With the team extension, PP ranks allocate among themselves and
+        PME ranks pay nothing."""
+        pp, pme = split_pp_pme(rt, n_pme=2)
+        buf = pp.symmetric_alloc("haloCoords", (100, 3))
+        assert buf.complete
+        assert buf.on(0).shape == (100, 3)
+        assert pp.heap.total_bytes() == 100 * 3 * 4
+        assert pme.heap.total_bytes() == 0
+
+    def test_teams_allocate_independently(self, rt):
+        pp, pme = split_pp_pme(rt, n_pme=2)
+        pp.symmetric_alloc("coords", (10,))
+        pme.symmetric_alloc("fft_grid", (64,))
+        assert pp.heap.names() == ["coords"]
+        assert pme.heap.names() == ["fft_grid"]
+
+
+class TestTeamOps:
+    def test_ptr_uses_world_topology(self, rt):
+        # Team spanning both nodes: PEs 2 (node 0) and 5 (node 1).
+        team = team_split(rt, "t", [2, 5])
+        buf = team.symmetric_alloc("b", (4,))
+        assert team.ptr(buf, remote_team_pe=1, local_team_pe=0) is None  # cross-node
+        same = team_split(rt, "s", [0, 1])
+        buf2 = same.symmetric_alloc("b", (4,))
+        assert same.ptr(buf2, 1, 0) is buf2.on(1)
+
+    def test_put_team_numbering(self, rt):
+        team = team_split(rt, "t", [1, 6])
+        buf = team.symmetric_alloc("b", (4,))
+        team.put(buf, target_team_pe=1, offset=1, data=np.ones(2, np.float32), source_team_pe=0)
+        np.testing.assert_array_equal(buf.on(1)[1:3], 1.0)
+        assert np.all(buf.on(0) == 0.0)
+
+    def test_put_bounds(self, rt):
+        team = team_split(rt, "t", [0, 1])
+        buf = team.symmetric_alloc("b", (2,))
+        with pytest.raises(IndexError):
+            team.put(buf, 1, 1, np.ones(2, np.float32), 0)
+
+    def test_put_signal_order_preserved_cross_node(self):
+        rt = NvshmemRuntime(NodeTopology(8, 4), delay_delivery=True)
+        team = team_split(rt, "t", [0, 5])  # spans the node boundary
+        buf = team.symmetric_alloc("b", (4,))
+        sig = team.signal_array("s", 1)
+        team.put_signal_nbi(buf, 1, 0, np.ones(2, np.float32), sig, 0, 3, source_team_pe=0)
+        assert rt.n_pending == 1
+        assert not sig.is_set(1, 0, 3)
+        team.barrier()
+        assert sig.acquire_check(1, 0, 3)
+        np.testing.assert_array_equal(buf.on(1)[:2], 1.0)
+
+    def test_signal_array_conflict(self, rt):
+        team = team_split(rt, "t", [0, 1])
+        team.signal_array("s", 2)
+        with pytest.raises(ValueError):
+            team.signal_array("s", 3)

@@ -1,0 +1,126 @@
+"""Physical observables: RDF, MSD, diffusion, temperature profile."""
+
+import numpy as np
+import pytest
+
+from repro.md import default_forcefield, make_grappa_system
+from repro.md.integrator import BOLTZ
+from repro.md.observables import (
+    UnwrappedTracker,
+    diffusion_coefficient,
+    msd_series,
+    radial_distribution,
+    temperature_profile,
+)
+
+
+class TestRdf:
+    def test_ideal_gas_is_flat(self):
+        rng = np.random.default_rng(0)
+        box = np.full(3, 6.0)
+        pos = rng.random((4000, 3)) * box
+        r, g = radial_distribution(pos, box, r_max=2.0, n_bins=40)
+        # Beyond tiny-r noise, g(r) ~ 1 for uncorrelated particles.
+        assert np.abs(g[5:] - 1.0).mean() < 0.1
+
+    def test_lattice_has_structure(self):
+        s = make_grappa_system(4096, seed=1)  # jittered lattice
+        r, g = radial_distribution(s.positions.astype(np.float64), s.box, r_max=1.2, n_bins=60)
+        spacing = s.box[0] / 16  # 16^3 = 4096 sites
+        peak_r = r[np.argmax(g)]
+        assert peak_r == pytest.approx(spacing, rel=0.25)
+        assert g.max() > 1.5  # strong first-neighbour peak
+        # Excluded volume at short range.
+        assert g[r < 0.5 * spacing].max() < 0.2
+
+    def test_partial_rdf_requires_types(self):
+        box = np.full(3, 4.0)
+        pos = np.random.default_rng(0).random((100, 3)) * box
+        with pytest.raises(ValueError, match="type_ids"):
+            radial_distribution(pos, box, 1.0, pair_types=(0, 1))
+
+    def test_partial_rdfs_compose(self):
+        """Same-type partial RDF of a one-type system equals the full RDF."""
+        box = np.full(3, 5.0)
+        pos = np.random.default_rng(2).random((2000, 3)) * box
+        tid = np.zeros(2000, dtype=np.int32)
+        r1, g_full = radial_distribution(pos, box, 1.5)
+        r2, g_part = radial_distribution(pos, box, 1.5, type_ids=tid, pair_types=(0, 0))
+        np.testing.assert_allclose(g_part, g_full)
+
+    def test_minimum_image_bound_enforced(self):
+        box = np.full(3, 3.0)
+        with pytest.raises(ValueError, match="minimum-image"):
+            radial_distribution(np.zeros((2, 3)), box, r_max=1.6)
+
+
+class TestMsd:
+    def test_static_zero(self):
+        box = np.full(3, 4.0)
+        frame = np.random.default_rng(0).random((50, 3)) * box
+        out = msd_series([frame, frame, frame], box)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_ballistic_quadratic(self):
+        """Constant-velocity particles: MSD = |v|^2 t^2 even across wraps."""
+        box = np.full(3, 2.0)
+        rng = np.random.default_rng(1)
+        x0 = rng.random((100, 3)) * box
+        v = rng.normal(0, 1, (100, 3))
+        frames = [np.mod(x0 + v * (0.01 * k), box) for k in range(20)]
+        out = msd_series(frames, box)
+        expect = np.mean(np.sum(v**2, axis=1)) * (0.01 * np.arange(20)) ** 2
+        np.testing.assert_allclose(out, expect, rtol=1e-9)
+
+    def test_tracker_requires_frames(self):
+        t = UnwrappedTracker(box=np.full(3, 2.0))
+        with pytest.raises(RuntimeError):
+            t.msd()
+
+    def test_diffusion_from_linear_msd(self):
+        msd = 6.0 * 0.05 * np.arange(50) * 0.002  # D = 0.05 nm^2/ps, dt 2 fs
+        assert diffusion_coefficient(msd, dt_ps=0.002) == pytest.approx(0.05)
+
+    def test_diffusion_validation(self):
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(2), 0.002)
+        with pytest.raises(ValueError):
+            diffusion_coefficient(np.zeros(10), 0.0)
+
+
+class TestTemperatureProfile:
+    def test_homogeneous_system(self):
+        rng = np.random.default_rng(3)
+        n, t_ref = 60_000, 300.0
+        box = np.full(3, 8.0)
+        pos = rng.random((n, 3)) * box
+        m = np.full(n, 18.0)
+        v = rng.normal(size=(n, 3)) * np.sqrt(BOLTZ * t_ref / m)[:, None]
+        centers, temps = temperature_profile(pos, v, m, box, axis=2, n_bins=8)
+        assert len(centers) == 8
+        np.testing.assert_allclose(temps, t_ref, rtol=0.05)
+
+    def test_empty_bins_zero(self):
+        box = np.full(3, 4.0)
+        pos = np.array([[0.1, 0.1, 0.1]])
+        v = np.ones((1, 3))
+        m = np.ones(1)
+        _, temps = temperature_profile(pos, v, m, box, n_bins=4)
+        assert temps[0] > 0 and np.all(temps[1:] == 0)
+
+
+class TestDdEquivalence:
+    def test_rdf_identical_serial_vs_dd(self):
+        """Observables from serial and decomposed runs must coincide
+        (trajectories agree bit-for-bit)."""
+        from repro.dd import DDGrid, DDSimulator
+        from repro.md import ReferenceSimulator
+
+        ff = default_forcefield(cutoff=0.65)
+        a = make_grappa_system(2048, seed=31, ff=ff, dtype=np.float64)
+        b = a.copy()
+        ReferenceSimulator(a, ff, nstlist=5, buffer=0.15).run(10)
+        DDSimulator(b, ff, grid=DDGrid((2, 2, 1)), nstlist=5, buffer=0.15).run(10)
+        _, g1 = radial_distribution(a.positions, a.box, r_max=1.2)
+        _, g2 = radial_distribution(b.positions, b.box, r_max=1.2)
+        np.testing.assert_allclose(g1, g2)

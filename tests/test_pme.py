@@ -1,0 +1,227 @@
+"""PME substrate: SPME vs direct Ewald, B-splines, rank specialization."""
+
+import numpy as np
+import pytest
+
+from repro.pme.decomposition import PmePpSession
+from repro.pme.ewald_direct import ewald_direct, ewald_real_space
+from repro.pme.spme import SpmeSolver, _bspline_value, _bspline_weights, optimal_beta
+
+
+@pytest.fixture(scope="module")
+def charged_system():
+    rng = np.random.default_rng(3)
+    n = 24
+    box = np.full(3, 2.5)
+    pos = rng.random((n, 3)) * box
+    q = rng.normal(size=n)
+    q -= q.mean()  # neutral
+    return pos, q, box
+
+
+class TestBsplines:
+    def test_partition_of_unity(self):
+        """B-spline weights of any point sum to exactly 1."""
+        frac = np.random.default_rng(0).random(200)
+        for order in (3, 4, 5, 6):
+            m, _ = _bspline_weights(frac, order)
+            np.testing.assert_allclose(m.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_derivatives_sum_to_zero(self):
+        frac = np.random.default_rng(1).random(100)
+        for order in (4, 5):
+            _, dm = _bspline_weights(frac, order)
+            np.testing.assert_allclose(dm.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_derivative_matches_numeric(self):
+        h = 1e-7
+        frac = np.array([0.3])
+        m_p, _ = _bspline_weights(frac + h, 4)
+        m_m, _ = _bspline_weights(frac - h, 4)
+        _, dm = _bspline_weights(frac, 4)
+        np.testing.assert_allclose((m_p - m_m) / (2 * h), dm, atol=1e-5)
+
+    def test_support_and_symmetry(self):
+        x = np.linspace(-1, 5, 601)
+        m4 = _bspline_value(x, 4)
+        assert np.all(m4[(x <= 0) | (x >= 4)] == 0)
+        # M_4 is symmetric about x = 2.
+        np.testing.assert_allclose(m4, _bspline_value(4.0 - x, 4), atol=1e-12)
+
+    def test_normalization(self):
+        x = np.linspace(0, 4, 4001)
+        integral = np.trapezoid(_bspline_value(x, 4), x)
+        assert integral == pytest.approx(1.0, abs=1e-5)
+
+
+class TestOptimalBeta:
+    def test_tolerance_met(self):
+        from scipy.special import erfc
+
+        beta = optimal_beta(1.2, 1e-6)
+        assert erfc(beta * 1.2) == pytest.approx(1e-6, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_beta(0.0)
+        with pytest.raises(ValueError):
+            optimal_beta(1.0, 2.0)
+
+
+class TestDirectEwald:
+    def test_forces_match_numeric_gradient(self, charged_system):
+        pos, q, box = charged_system
+        beta = 2.5
+        _, f = ewald_direct(pos, q, box, beta, k_max=6)
+        h = 1e-5
+        for (atom, dim) in [(0, 0), (5, 2)]:
+            p_plus = pos.copy()
+            p_plus[atom, dim] += h
+            p_minus = pos.copy()
+            p_minus[atom, dim] -= h
+            e_p, _ = ewald_direct(p_plus, q, box, beta, k_max=6)
+            e_m, _ = ewald_direct(p_minus, q, box, beta, k_max=6)
+            assert f[atom, dim] == pytest.approx(-(e_p - e_m) / (2 * h), rel=1e-4)
+
+    def test_beta_independence(self, charged_system):
+        """The total Ewald energy must not depend on the splitting parameter."""
+        pos, q, box = charged_system
+        e1, _ = ewald_direct(pos, q, box, beta=2.4, k_max=12)
+        e2, _ = ewald_direct(pos, q, box, beta=3.0, k_max=14)
+        assert e1 == pytest.approx(e2, rel=2e-4)
+
+    def test_momentum_conservation(self, charged_system):
+        pos, q, box = charged_system
+        _, f = ewald_direct(pos, q, box, 2.8, k_max=8)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-8)
+
+    def test_requires_neutrality(self, charged_system):
+        pos, q, box = charged_system
+        with pytest.raises(ValueError, match="neutral"):
+            ewald_direct(pos, np.abs(q) + 1.0, box, 2.8)
+
+    def test_two_charges_known_limit(self):
+        """Widely separated beta: Ewald -> bare Coulomb for an isolated pair
+        in a large box."""
+        from repro.md.forcefield import COULOMB_FACTOR
+
+        box = np.full(3, 12.0)
+        pos = np.array([[5.0, 6.0, 6.0], [5.5, 6.0, 6.0]])
+        q = np.array([1.0, -1.0])
+        # beta chosen so BOTH halves converge within r_cut/k_max.
+        e, f = ewald_direct(pos, q, box, beta=0.7, k_max=10)
+        bare = -COULOMB_FACTOR / 0.5
+        # Periodic dipole images contribute only a tiny correction here.
+        assert e == pytest.approx(bare, rel=2e-3)
+        # Attraction: the force on atom 0 (at x=5.0) points toward atom 1.
+        assert f[0, 0] > 0 and f[1, 0] < 0
+
+
+class TestSpme:
+    def test_energy_matches_direct(self, charged_system):
+        pos, q, box = charged_system
+        beta = optimal_beta(1.2, 1e-6)
+        e_ref, f_ref = ewald_direct(pos, q, box, beta, r_cut=1.2, k_max=12)
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=beta)
+        e_real, f_real = ewald_real_space(pos, q, box, beta, 1.2)
+        e_rec, f_rec = solver.reciprocal(pos, q)
+        e = e_real + e_rec + solver.self_energy(q)
+        assert e == pytest.approx(e_ref, rel=5e-4)
+        np.testing.assert_allclose(
+            f_real + f_rec, f_ref, atol=5e-4 * np.abs(f_ref).max()
+        )
+
+    def test_finer_grid_converges(self, charged_system):
+        pos, q, box = charged_system
+        beta = optimal_beta(1.2, 1e-6)
+        e_ref, _ = ewald_direct(pos, q, box, beta, r_cut=1.2, k_max=14)
+        e_real, _ = ewald_real_space(pos, q, box, beta, 1.2)
+        errs = []
+        for k in (24, 48):
+            solver = SpmeSolver(box=box, grid=(k, k, k), beta=beta)
+            e_rec, _ = solver.reciprocal(pos, q)
+            errs.append(abs(e_real + e_rec + solver.self_energy(q) - e_ref))
+        assert errs[1] < errs[0]
+
+    def test_spread_conserves_charge(self, charged_system):
+        pos, q, box = charged_system
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.8)
+        mesh = solver.spread(pos, q)
+        assert float(mesh.sum()) == pytest.approx(float(q.sum()), abs=1e-10)
+
+    def test_forces_conserve_momentum(self, charged_system):
+        """With net-force removal (GROMACS behaviour) momentum is exact;
+        without it the mesh leaves only a small interpolation residual."""
+        pos, q, box = charged_system
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.8)
+        _, f = solver.reciprocal(pos, q)
+        np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-9)
+        raw = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.8, remove_net_force=False)
+        _, f_raw = raw.reciprocal(pos, q)
+        residual = np.abs(f_raw.sum(axis=0)).max()
+        assert 0 < residual < 0.02 * np.abs(f_raw).max()
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="too coarse"):
+            SpmeSolver(box=np.full(3, 2.0), grid=(4, 32, 32), beta=2.0)
+        with pytest.raises(ValueError):
+            SpmeSolver(box=np.full(3, 2.0), grid=(32, 32, 32), beta=-1.0)
+
+    def test_mesh_shape_checked(self, charged_system):
+        pos, q, box = charged_system
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.8)
+        with pytest.raises(ValueError, match="mesh shape"):
+            solver.reciprocal_from_mesh(np.zeros((8, 8, 8)), pos, q)
+
+
+class TestRankSpecialization:
+    def test_distributed_equals_single_solver(self, charged_system):
+        """PP/PME round trip through team buffers reproduces the single-rank
+        SPME result exactly (the distributed-spreading substitution is
+        mathematically identity-preserving)."""
+        pos, q, box = charged_system
+        beta = 2.8
+        session = PmePpSession(
+            n_pp=3, n_pme=2, box=box, grid=(32, 32, 32), beta=beta,
+            pes_per_node=2, max_atoms_per_rank=50,
+        )
+        # Split atoms across PP ranks.
+        parts = np.array_split(np.arange(pos.shape[0]), 3)
+        e_dist, f_parts = session.compute(
+            [pos[p] for p in parts], [q[p] for p in parts]
+        )
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=beta)
+        e_rec, f_ref = solver.reciprocal(pos, q)
+        e_ref = e_rec + solver.self_energy(q)
+        assert e_dist == pytest.approx(e_ref, rel=1e-12)
+        np.testing.assert_allclose(np.vstack(f_parts), f_ref, atol=1e-10)
+
+    def test_rank_mapping_balanced(self, charged_system):
+        pos, q, box = charged_system
+        session = PmePpSession(
+            n_pp=6, n_pme=2, box=box, grid=(32, 32, 32), beta=2.8,
+            max_atoms_per_rank=50,
+        )
+        assert [session.pme_rank_of(r) for r in range(6)] == [0, 0, 0, 1, 1, 1]
+        assert session.pp_ranks_of(1) == [3, 4, 5]
+        with pytest.raises(ValueError):
+            session.pme_rank_of(6)
+
+    def test_team_heaps_disjoint(self, charged_system):
+        pos, q, box = charged_system
+        session = PmePpSession(
+            n_pp=3, n_pme=1, box=box, grid=(32, 32, 32), beta=2.8,
+            max_atoms_per_rank=50,
+        )
+        assert "ppXQ" in session.pme_team.heap.names()
+        assert "pmeForces" in session.pp_team.heap.names()
+        assert "ppXQ" not in session.pp_team.heap.names()
+
+    def test_capacity_enforced(self, charged_system):
+        pos, q, box = charged_system
+        session = PmePpSession(
+            n_pp=1, n_pme=1, box=box, grid=(32, 32, 32), beta=2.8,
+            max_atoms_per_rank=10,
+        )
+        with pytest.raises(ValueError, match="capacity"):
+            session.compute([pos], [q])

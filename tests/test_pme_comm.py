@@ -1,0 +1,82 @@
+"""PP<->PME communication arm in the timing layer (EXT-PME projection)."""
+
+import pytest
+
+from repro.perf.machines import EOS
+from repro.perf.model import estimate_step, simulate_step
+from repro.perf.workload import grappa_workload
+from repro.sched.pme_comm import PmeWork
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return grappa_workload(720_000, 32, EOS)
+
+
+@pytest.fixture(scope="module")
+def pme():
+    return PmeWork.for_system(720_000, n_pp=32, n_pme=8, nvlink=False)
+
+
+class TestPmeWork:
+    def test_sizing(self, pme):
+        assert pme.n_home == pytest.approx(22_500)
+        assert pme.grid_points > 0
+        assert pme.pipeline_us() > 0
+
+    def test_grid_scales_with_system(self):
+        small = PmeWork.for_system(45_000, 4, 1, True)
+        big = PmeWork.for_system(2_880_000, 32, 8, True)
+        assert big.grid_points > small.grid_points
+
+    def test_nvlink_transfer_faster(self):
+        a = PmeWork.for_system(720_000, 32, 8, nvlink=True)
+        b = PmeWork.for_system(720_000, 32, 8, nvlink=False)
+        assert a.xfer_us(EOS.hw) < b.xfer_us(EOS.hw)
+
+
+class TestScheduleArm:
+    def test_pme_never_speeds_up_a_step(self, wl, pme):
+        for be in ("mpi", "nvshmem"):
+            base = estimate_step(wl, EOS, be)
+            with_pme = estimate_step(wl, EOS, be, pme=pme)
+            assert with_pme.time_per_step >= base.time_per_step - 1e-9
+
+    def test_gpu_initiated_exposure_much_smaller(self, wl, pme):
+        """The future-work claim: GPU-initiated PP<->PME transfers hide
+        under compute; the CPU-synchronized path does not."""
+        exp = {}
+        for be in ("mpi", "nvshmem"):
+            base = estimate_step(wl, EOS, be)
+            with_pme = estimate_step(wl, EOS, be, pme=pme)
+            exp[be] = with_pme.time_per_step - base.time_per_step
+        assert exp["nvshmem"] < 0.5 * exp["mpi"]
+
+    def test_force_reduction_waits_for_pme(self, wl, pme):
+        g, _ = simulate_step(wl, EOS, "nvshmem", pme=pme)
+        g.evaluate()
+        reduce_f = g.tasks["s3:reduce_f"]
+        freturn = g.tasks["s3:pme:freturn"]
+        assert reduce_f.start >= freturn.end
+
+    def test_mpi_arm_adds_cpu_syncs(self, wl, pme):
+        g_plain, _ = simulate_step(wl, EOS, "mpi")
+        g_pme, _ = simulate_step(wl, EOS, "mpi", pme=pme)
+        n = lambda g: sum(1 for t in g.tasks.values() if t.kind == "sync")
+        assert n(g_pme) > n(g_plain)
+
+    def test_nvshmem_arm_adds_no_cpu_syncs(self, wl, pme):
+        g, _ = simulate_step(wl, EOS, "nvshmem", pme=pme)
+        assert not [t for t in g.tasks.values() if t.kind == "sync"]
+
+    def test_ext_pme_table(self):
+        from repro.analysis import ext_pme_projection
+
+        tbl = ext_pme_projection()
+        cols = list(tbl.columns)
+        by = {
+            (r[cols.index("case")], r[cols.index("backend")]): r[cols.index("pme_exposure_us")]
+            for r in tbl.rows
+        }
+        for case in {c for c, _ in by}:
+            assert by[(case, "nvshmem")] < by[(case, "mpi")]

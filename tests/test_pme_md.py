@@ -1,0 +1,101 @@
+"""Full-electrostatics MD: PME end-to-end in the serial and DD engines."""
+
+import numpy as np
+import pytest
+
+from repro.dd import DDGrid, DDSimulator
+from repro.md import ReferenceSimulator, default_forcefield, make_grappa_system
+
+
+@pytest.fixture(scope="module")
+def ff():
+    return default_forcefield(cutoff=0.65)
+
+
+@pytest.fixture()
+def system(ff):
+    return make_grappa_system(1400, seed=3, ff=ff, dtype=np.float64)
+
+
+class TestSerialPme:
+    def test_mode_validation(self, system, ff):
+        with pytest.raises(ValueError, match="coulomb"):
+            ReferenceSimulator(system, ff, coulomb="madelung")
+
+    def test_runs_and_records(self, system, ff):
+        sim = ReferenceSimulator(system, ff, nstlist=5, buffer=0.15, coulomb="pme")
+        recs = sim.run(4)
+        assert all(np.isfinite(r.total) for r in recs)
+
+    def test_forces_conserve_momentum(self, system, ff):
+        sim = ReferenceSimulator(system, ff, nstlist=5, buffer=0.15, coulomb="pme")
+        sim.compute_forces()
+        np.testing.assert_allclose(sim.system.forces.sum(axis=0), 0.0, atol=1e-7)
+
+    def test_pme_energy_differs_from_rf(self, system, ff):
+        """Sanity: the two electrostatic models are genuinely different."""
+        a = ReferenceSimulator(system.copy(), ff, coulomb="rf")
+        b = ReferenceSimulator(system.copy(), ff, coulomb="pme")
+        _, e_rf, _ = a.compute_forces()
+        _, e_pme, _ = b.compute_forces()
+        assert e_rf != pytest.approx(e_pme, rel=1e-3)
+
+    def test_energy_conservation_with_pme(self, ff):
+        sys_ = make_grappa_system(1400, seed=9, ff=ff, dtype=np.float64)
+        sim = ReferenceSimulator(sys_, ff, nstlist=5, buffer=0.2, dt=0.001, coulomb="pme")
+        sim.run(40)  # melt
+        recs = sim.run(40)
+        totals = np.array([r.total for r in recs])
+        scale = max(abs(totals.mean()), np.abs([r.kinetic for r in recs]).max())
+        assert abs(totals[-1] - totals[0]) / scale < 0.05
+
+
+class TestDdPme:
+    def test_trajectory_matches_serial(self, system, ff):
+        a = system.copy()
+        b = system.copy()
+        ReferenceSimulator(a, ff, nstlist=5, buffer=0.15, coulomb="pme").run(8)
+        DDSimulator(
+            b, ff, grid=DDGrid((2, 2, 1)), nstlist=5, buffer=0.15, coulomb="pme"
+        ).run(8)
+        dx = b.positions - a.positions
+        dx -= np.rint(dx / a.box) * a.box
+        assert np.abs(dx).max() < 1e-11
+
+    def test_energies_match_serial(self, system, ff):
+        a = system.copy()
+        b = system.copy()
+        ra = ReferenceSimulator(a, ff, nstlist=5, buffer=0.15, coulomb="pme").run(3)
+        rb = DDSimulator(
+            b, ff, grid=DDGrid((2, 1, 1)), nstlist=5, buffer=0.15, coulomb="pme"
+        ).run(3)
+        for x, y in zip(ra, rb):
+            assert y.coulomb == pytest.approx(x.coulomb, rel=1e-10)
+            assert y.lj == pytest.approx(x.lj, rel=1e-10)
+
+    def test_with_nvshmem_backend(self, system, ff):
+        from repro.comm import NvshmemBackend
+
+        a = system.copy()
+        b = system.copy()
+        ReferenceSimulator(a, ff, nstlist=5, buffer=0.15, coulomb="pme").run(6)
+        DDSimulator(
+            b, ff, grid=DDGrid((2, 2, 1)), nstlist=5, buffer=0.15, coulomb="pme",
+            backend=NvshmemBackend(pes_per_node=2, seed=4),
+        ).run(6)
+        dx = b.positions - a.positions
+        dx -= np.rint(dx / a.box) * a.box
+        assert np.abs(dx).max() < 1e-11
+
+    def test_pme_rank_count_configurable(self, system, ff):
+        sim = DDSimulator(
+            system, ff, grid=DDGrid((2, 2, 1)), nstlist=5, buffer=0.15,
+            coulomb="pme", n_pme_ranks=2,
+        )
+        assert sim._pme_session.n_pme == 2
+        assert sim._pme_session.n_pp == 4
+        sim.run(1)
+
+    def test_mode_validation(self, system, ff):
+        with pytest.raises(ValueError, match="coulomb"):
+            DDSimulator(system, ff, n_ranks=2, coulomb="tinfoil")

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dd.decomposition import DomainDecomposition
+from repro.dd.grid import DDGrid
+from repro.dd.halo import build_halo_plan
+from repro.md.cells import CellList, periodic_cell_list
+from repro.md.system import minimum_image, wrap_positions
+
+# -- strategies ---------------------------------------------------------------
+
+boxes = st.tuples(
+    st.floats(2.2, 6.0), st.floats(2.2, 6.0), st.floats(2.2, 6.0)
+).map(np.array)
+
+seeds = st.integers(0, 2**31 - 1)
+
+
+def _random_positions(seed, n, box):
+    return np.random.default_rng(seed).random((n, 3)) * box
+
+
+# -- PBC helpers -----------------------------------------------------------------
+
+
+class TestPbcProperties:
+    @given(seed=seeds, box=boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_idempotent_and_in_box(self, seed, box):
+        pos = np.random.default_rng(seed).uniform(-20, 20, (40, 3))
+        w = wrap_positions(pos, box)
+        assert np.all(w >= 0) and np.all(w < box)
+        np.testing.assert_allclose(wrap_positions(w, box), w, atol=1e-12)
+
+    @given(seed=seeds, box=boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_wrap_preserves_image_class(self, seed, box):
+        """Wrapping shifts by exact integer box multiples."""
+        pos = np.random.default_rng(seed).uniform(-20, 20, (20, 3))
+        w = wrap_positions(pos, box)
+        k = (pos - w) / box
+        np.testing.assert_allclose(k, np.rint(k), atol=1e-9)
+
+    @given(seed=seeds, box=boxes)
+    @settings(max_examples=50, deadline=None)
+    def test_minimum_image_smallest(self, seed, box):
+        dx = np.random.default_rng(seed).uniform(-15, 15, (30, 3))
+        mi = minimum_image(dx.copy(), box)
+        assert np.all(np.abs(mi) <= box / 2 + 1e-9)
+        # Same image class.
+        k = (dx - mi) / box
+        np.testing.assert_allclose(k, np.rint(k), atol=1e-9)
+
+
+# -- cell list vs brute force ---------------------------------------------------------
+
+
+class TestCellListProperties:
+    @given(
+        seed=seeds,
+        n=st.integers(2, 120),
+        cutoff=st.floats(0.4, 1.0),
+        box=boxes,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_pairs_match_brute_force(self, seed, n, cutoff, box):
+        pos = _random_positions(seed, n, box)
+        cl = periodic_cell_list(box, cutoff)
+        i, j = cl.pairs_within(pos, cutoff)
+        got = set(zip(i.tolist(), j.tolist()))
+        want = set()
+        for a in range(n):
+            dx = pos[a] - pos[a + 1 :]
+            dx -= np.rint(dx / box) * box
+            r2 = (dx * dx).sum(axis=1)
+            for k in np.nonzero(r2 <= cutoff * cutoff)[0]:
+                want.add((a, a + 1 + int(k)))
+        assert got == want
+
+    @given(seed=seeds, n=st.integers(2, 100), cutoff=st.floats(0.3, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_open_pairs_symmetric_under_translation(self, seed, n, cutoff):
+        rng = np.random.default_rng(seed)
+        pos = rng.random((n, 3)) * 4.0
+        shift = rng.uniform(-3, 3, 3)
+
+        def pairs(p):
+            lo = p.min(axis=0) - 1e-9
+            hi = np.maximum(p.max(axis=0) + 1e-9, lo + cutoff)
+            cl = CellList(lo=lo, hi=hi, cutoff=cutoff, periodic=np.zeros(3, bool))
+            i, j = cl.pairs_within(p, cutoff)
+            return set(zip(i.tolist(), j.tolist()))
+
+        assert pairs(pos) == pairs(pos + shift)
+
+
+# -- halo exchange invariants ------------------------------------------------------------
+
+
+class TestHaloProperties:
+    @given(
+        seed=seeds,
+        shape=st.sampled_from([(2, 1, 1), (1, 2, 1), (2, 2, 1), (2, 2, 2)]),
+        trim=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pair_coverage_random_configs(self, seed, shape, trim):
+        """The eighth-shell invariant on random configurations: every pair
+        within the cutoff is claimable on exactly one rank."""
+        box = np.full(3, 3.2)
+        rng = np.random.default_rng(seed)
+        n = 250
+        pos = rng.random((n, 3)) * box
+        r_comm = 0.8
+        rc = 0.75
+        dd = DomainDecomposition(grid=DDGrid(shape), box=box, r_comm=r_comm)
+        plan = build_halo_plan(dd, pos, trim_corners=trim)
+
+        # Global pairs.
+        cl = periodic_cell_list(box, rc)
+        gi, gj = cl.pairs_within(pos, rc)
+        want = set(zip(gi.tolist(), gj.tolist()))
+
+        periodic = np.array([shape[d] == 1 for d in range(3)])
+        claimed: dict[tuple, int] = {}
+        for rp in plan.ranks:
+            if rp.n_local < 2:
+                continue
+            lo = np.where(periodic, 0.0, rp.positions.min(axis=0) - 1e-9)
+            hi = np.where(periodic, box, rp.positions.max(axis=0) + 1e-9)
+            hi = np.maximum(hi, lo + r_comm)
+            lcl = CellList(lo=lo, hi=hi, cutoff=r_comm, periodic=periodic)
+            i, j = lcl.pairs_within(rp.positions, rc)
+            keep = np.all(np.minimum(rp.zone_shift[i], rp.zone_shift[j]) == 0, axis=1)
+            for a, b in zip(rp.global_ids[i[keep]].tolist(), rp.global_ids[j[keep]].tolist()):
+                key = (min(a, b), max(a, b))
+                claimed[key] = claimed.get(key, 0) + 1
+
+        assert set(claimed) == want
+        assert all(c == 1 for c in claimed.values())
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_halo_sizes_symmetric(self, seed):
+        box = np.full(3, 3.2)
+        pos = np.random.default_rng(seed).random((200, 3)) * box
+        dd = DomainDecomposition(grid=DDGrid((2, 2, 1)), box=box, r_comm=0.8)
+        plan = build_halo_plan(dd, pos)
+        for rp in plan.ranks:
+            for p in rp.pulses:
+                peer = plan.ranks[p.send_rank].pulses[p.pulse_id]
+                assert peer.recv_size == p.send_size
+
+
+# -- randomized backend interleavings ---------------------------------------------------
+
+
+class TestBackendProperties:
+    @given(seed=seeds, ppn=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_nvshmem_exchange_schedule_independent(self, seed, ppn, request):
+        """Any scheduler interleaving + any proxy delivery order produces
+        the reference halo contents."""
+        from repro.comm import NvshmemBackend
+        from repro.dd.exchange import build_cluster, reference_coordinate_exchange
+        from repro.md import default_forcefield, make_grappa_system
+
+        ff = default_forcefield(cutoff=0.65)
+        system = make_grappa_system(1400, seed=11, ff=ff, dtype=np.float64)
+        dd = DomainDecomposition(
+            grid=DDGrid((2, 2, 1)), box=system.box, r_comm=ff.cutoff + 0.12
+        )
+        want = build_cluster(system.copy(), dd, fresh_halo=False)
+        reference_coordinate_exchange(want)
+
+        got = build_cluster(system.copy(), dd, fresh_halo=False)
+        be = NvshmemBackend(pes_per_node=ppn, seed=seed)
+        be.bind(got)
+        be.exchange_coordinates(got)
+        for r in range(got.n_ranks):
+            np.testing.assert_allclose(got.local_pos[r], want.local_pos[r], atol=1e-12)
+
+
+class TestSpmeProperties:
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_reciprocal_energy_translation_invariant(self, seed):
+        """Rigid translation of all charges leaves the reciprocal energy
+        unchanged (to spline-interpolation accuracy)."""
+        import numpy as np
+
+        from repro.pme.spme import SpmeSolver
+
+        rng = np.random.default_rng(seed)
+        box = np.full(3, 3.0)
+        pos = rng.random((16, 3)) * box
+        q = rng.normal(size=16)
+        q -= q.mean()
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.5)
+        e0, _ = solver.reciprocal(pos, q)
+        shift = rng.uniform(0, 3.0, 3)
+        e1, _ = solver.reciprocal(np.mod(pos + shift, box), q)
+        assert e1 == pytest.approx(e0, rel=2e-3, abs=1e-6)
+
+    @given(seed=seeds, scale=st.floats(0.1, 3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_reciprocal_energy_quadratic_in_charge(self, seed, scale):
+        import numpy as np
+
+        from repro.pme.spme import SpmeSolver
+
+        rng = np.random.default_rng(seed)
+        box = np.full(3, 3.0)
+        pos = rng.random((12, 3)) * box
+        q = rng.normal(size=12)
+        q -= q.mean()
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.5)
+        e1, f1 = solver.reciprocal(pos, q)
+        e2, f2 = solver.reciprocal(pos, scale * q)
+        assert e2 == pytest.approx(scale**2 * e1, rel=1e-9, abs=1e-12)
+        np.testing.assert_allclose(f2, scale**2 * f1, atol=1e-9 * max(1.0, np.abs(f1).max()))
+
+    @given(seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_spread_partitions_charge(self, seed):
+        import numpy as np
+
+        from repro.pme.spme import SpmeSolver
+
+        rng = np.random.default_rng(seed)
+        box = np.full(3, 3.0)
+        pos = rng.random((30, 3)) * box
+        q = rng.normal(size=30)
+        solver = SpmeSolver(box=box, grid=(32, 32, 32), beta=2.5)
+        mesh = solver.spread(pos, q)
+        assert float(mesh.sum()) == pytest.approx(float(q.sum()), abs=1e-9)

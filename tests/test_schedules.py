@@ -1,0 +1,141 @@
+"""Schedule builders: structural properties of the Fig. 1 / Fig. 2 graphs."""
+
+import pytest
+
+from repro.perf.machines import DGX_H100, EOS
+from repro.perf.workload import grappa_workload
+from repro.sched.durations import Durations
+from repro.sched.mpi_schedule import build_mpi_schedule
+from repro.sched.nvshmem_schedule import build_nvshmem_schedule
+
+
+@pytest.fixture(scope="module")
+def wl_3d():
+    return grappa_workload(360_000, 32, EOS)
+
+
+@pytest.fixture(scope="module")
+def wl_1d():
+    return grappa_workload(45_000, 4, DGX_H100)
+
+
+def _dur(wl, machine=EOS):
+    return Durations(hw=machine.hw, wl=wl)
+
+
+class TestMpiStructure:
+    def test_sync_count_per_step(self, wl_3d):
+        """Two CPU-GPU waits per pulse per direction: the latency the paper
+        eliminates (Sec. 3: multiple synchronizations per time-step)."""
+        g, _ = build_mpi_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        syncs = [t for t in g.tasks.values() if t.kind == "sync"]
+        assert len(syncs) == 4 * wl_3d.n_pulses
+
+    def test_pulses_serialized(self, wl_3d):
+        g, _ = build_mpi_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        ends = [g.tasks[f"s0:nonlocal:xfer{p.pulse_id}"].end for p in wl_3d.pulses]
+        starts = [g.tasks[f"s0:nonlocal:xpack{p.pulse_id}"].start for p in wl_3d.pulses]
+        for k in range(1, len(ends)):
+            assert starts[k] >= ends[k - 1]  # forwarding dependency
+
+    def test_nl_kernel_waits_for_all_halo(self, wl_3d):
+        g, _ = build_mpi_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        nl = g.tasks["s0:nonlocal:nb"]
+        last_xfer = max(g.tasks[f"s0:nonlocal:xfer{p.pulse_id}"].end for p in wl_3d.pulses)
+        assert nl.start >= last_xfer
+
+    def test_force_pulses_reverse_order(self, wl_3d):
+        g, _ = build_mpi_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        ends = {p.pulse_id: g.tasks[f"s0:nonlocal:funpack{p.pulse_id}"].end for p in wl_3d.pulses}
+        ids = sorted(ends)
+        for a, b in zip(ids, ids[1:]):
+            assert ends[b] <= ends[a]  # later pulse ids complete first
+
+    def test_steps_chain_through_integration(self, wl_1d):
+        g, bounds = build_mpi_schedule(wl_1d, _dur(wl_1d, DGX_H100), n_steps=2)
+        g.evaluate()
+        pack1 = g.tasks["s1:nonlocal:xpack0"]
+        assert pack1.start >= g.tasks[bounds[0]["integrate"]].end
+
+    def test_steady_state_period_stabilizes(self, wl_1d):
+        g, bounds = build_mpi_schedule(wl_1d, _dur(wl_1d, DGX_H100), n_steps=6)
+        g.evaluate()
+        ends = [g.tasks[b["step_end"]].end for b in bounds]
+        periods = [b - a for a, b in zip(ends, ends[1:])]
+        assert periods[-1] == pytest.approx(periods[-2], rel=1e-6)
+
+
+class TestNvshmemStructure:
+    def test_no_cpu_syncs(self, wl_3d):
+        g, _ = build_nvshmem_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        assert not [t for t in g.tasks.values() if t.kind == "sync"]
+
+    def test_fewer_launches_than_mpi(self, wl_3d):
+        d = _dur(wl_3d)
+        g_nvs, _ = build_nvshmem_schedule(wl_3d, d, n_steps=1)
+        g_mpi, _ = build_mpi_schedule(wl_3d, d, n_steps=1)
+        n_nvs = sum(1 for t in g_nvs.tasks.values() if t.kind == "launch")
+        n_mpi = sum(1 for t in g_mpi.tasks.values() if t.kind == "launch")
+        assert n_nvs < n_mpi
+
+    def test_pulses_concurrent_when_fused(self, wl_3d):
+        """Independent packs of all pulses start together (block groups)."""
+        g, _ = build_nvshmem_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        starts = [
+            g.tasks[f"s0:nonlocal:xpack_ind{p.pulse_id}"].start for p in wl_3d.pulses
+        ]
+        assert max(starts) - min(starts) < 1e-9
+
+    def test_serialized_mode_orders_pulses(self, wl_3d):
+        g, _ = build_nvshmem_schedule(wl_3d, _dur(wl_3d), fused=False, n_steps=1)
+        g.evaluate()
+        for k, p in enumerate(wl_3d.pulses[1:], start=1):
+            prev = wl_3d.pulses[k - 1]
+            pack = g.tasks[f"s0:nonlocal:xpack_ind{p.pulse_id}"]
+            prev_xfer = g.tasks[f"s0:nonlocal:xfer{prev.pulse_id}"]
+            assert pack.start >= prev_xfer.end
+
+    def test_dependent_pack_waits_for_arrivals(self, wl_3d):
+        g, _ = build_nvshmem_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        last = wl_3d.pulses[-1]
+        dep = g.tasks[f"s0:nonlocal:xpack_dep{last.pulse_id}"]
+        for q in wl_3d.pulses[:-1]:
+            assert dep.start >= g.tasks[f"s0:nonlocal:xfer{q.pulse_id}"].end
+
+    def test_force_dep_mgmt_chain(self, wl_3d):
+        """A pulse's force transfer waits for all later pulses' accumulation
+        (Algorithm 5's conservative subsequent-pulse wait)."""
+        g, _ = build_nvshmem_schedule(wl_3d, _dur(wl_3d), n_steps=1)
+        g.evaluate()
+        for p in wl_3d.pulses[:-1]:
+            fx = g.tasks[f"s0:nonlocal:fxfer{p.pulse_id}"]
+            for q in wl_3d.pulses:
+                if q.pulse_id > p.pulse_id:
+                    assert fx.start >= g.tasks[f"s0:nonlocal:facc{q.pulse_id}"].end
+
+    def test_dep_partitioning_off_packs_nothing_early(self, wl_3d):
+        g, _ = build_nvshmem_schedule(
+            wl_3d, _dur(wl_3d), dep_partitioning=False, n_steps=1
+        )
+        names = [t for t in g.tasks if "xpack_ind" in t]
+        assert names == []
+
+
+class TestPruneOptimization:
+    def test_prune_off_critical_path_when_optimized(self, wl_1d):
+        g, bounds = build_nvshmem_schedule(wl_1d, _dur(wl_1d, DGX_H100), prune_opt=True, n_steps=1)
+        g.evaluate()
+        assert g.tasks["s0:prune"].resource == "gpu.prune"
+        end = g.tasks[bounds[0]["step_end"]]
+        assert "s0:prune" not in end.deps
+
+    def test_prune_blocks_integration_when_legacy(self, wl_1d):
+        g, _ = build_nvshmem_schedule(wl_1d, _dur(wl_1d, DGX_H100), prune_opt=False, n_steps=1)
+        g.evaluate()
+        assert g.tasks["s0:prune"].resource == "gpu.update"
+        assert g.tasks["s0:integrate"].start >= g.tasks["s0:prune"].end

@@ -1,0 +1,88 @@
+"""Device-timing extraction (Sec. 6.3 metrics) and timeline rendering."""
+
+import pytest
+
+from repro.gpusim.graph import TaskGraph
+from repro.gpusim.timeline import render_timeline
+from repro.gpusim.trace import extract_timings
+
+
+def _toy_schedule(prefix=""):
+    g = TaskGraph()
+    g.add(f"{prefix}local_nb", "gpu.local", 20.0)
+    g.add(f"{prefix}nonlocal:pack", "gpu.nl", 4.0, kind="pack")
+    g.add(f"{prefix}nonlocal:xfer", "wire", 6.0, deps=(f"{prefix}nonlocal:pack",), kind="comm")
+    g.add(f"{prefix}nonlocal:nb", "gpu.nl", 15.0, deps=(f"{prefix}nonlocal:xfer",), kind="kernel")
+    g.add(f"{prefix}launch_x", "cpu", 3.0, kind="launch")  # must not count
+    return g
+
+
+class TestExtractTimings:
+    def test_metric_definitions(self):
+        t = extract_timings(_toy_schedule())
+        assert t.local_work == pytest.approx(20.0)
+        # First pack starts at 0; last unpack (nl kernel) ends at 25.
+        assert t.nonlocal_work == pytest.approx(25.0)
+        # Non-overlap: nonlocal end (25) - local end (20).
+        assert t.non_overlap == pytest.approx(5.0)
+        assert t.time_per_step == pytest.approx(25.0)
+
+    def test_non_overlap_clamped_at_zero(self):
+        g = TaskGraph()
+        g.add("local_nb", "gpu.local", 50.0)
+        g.add("nonlocal:nb", "gpu.nl", 5.0, kind="kernel")
+        t = extract_timings(g)
+        assert t.non_overlap == 0.0
+
+    def test_cpu_tasks_excluded_from_span(self):
+        g = _toy_schedule()
+        g.add("nonlocal:cpu_wait", "cpu", 100.0, kind="sync")
+        t = extract_timings(g)
+        assert t.nonlocal_work == pytest.approx(25.0)
+
+    def test_prefix_selects_step(self):
+        g = _toy_schedule(prefix="s1:")
+        t = extract_timings(g, prefix="s1:")
+        assert t.local_work == pytest.approx(20.0)
+
+    def test_time_per_step_override(self):
+        t = extract_timings(_toy_schedule(), time_per_step=123.0)
+        assert t.time_per_step == 123.0
+
+    def test_missing_local_raises(self):
+        g = TaskGraph()
+        g.add("nonlocal:nb", "gpu", 1.0)
+        with pytest.raises(KeyError, match="local_nb"):
+            extract_timings(g)
+
+    def test_missing_nonlocal_raises(self):
+        g = TaskGraph()
+        g.add("local_nb", "gpu", 1.0)
+        with pytest.raises(KeyError, match="nonlocal"):
+            extract_timings(g)
+
+    def test_as_dict(self):
+        d = extract_timings(_toy_schedule()).as_dict()
+        assert set(d) == {
+            "local_work_us", "nonlocal_work_us", "non_overlap_us", "time_per_step_us",
+        }
+
+
+class TestTimeline:
+    def test_renders_all_resources(self):
+        out = render_timeline(_toy_schedule())
+        for res in ("gpu.local", "gpu.nl", "wire", "cpu"):
+            assert res in out
+        assert "legend" in out
+
+    def test_respects_resource_filter(self):
+        out = render_timeline(_toy_schedule(), resources=["gpu.local"])
+        assert "gpu.local" in out and "wire" not in out.replace("legend", "")
+
+    def test_empty_graph(self):
+        assert "empty" in render_timeline(TaskGraph())
+
+    def test_width_bound(self):
+        out = render_timeline(_toy_schedule(), width=40)
+        for line in out.splitlines()[1:-1]:
+            assert len(line) <= 40 + 20  # label + bars

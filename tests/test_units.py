@@ -1,0 +1,49 @@
+"""Unit conversions (repro.util.units)."""
+
+import pytest
+
+from repro.util.units import (
+    efficiency,
+    ms_per_step_to_ns_per_day,
+    ns_per_day_to_ms_per_step,
+    speedup,
+)
+
+
+class TestNsPerDay:
+    def test_paper_identity_2fs(self):
+        # ns/day = 172.8 / ms_per_step at the grappa 2 fs time-step.
+        assert ms_per_step_to_ns_per_day(1.0) == pytest.approx(172.8)
+
+    def test_fig3_number_roundtrip(self):
+        # 1649 ns/day (45k, 4 GPUs, NVSHMEM) is ~0.105 ms/step.
+        ms = ns_per_day_to_ms_per_step(1649.0)
+        assert ms == pytest.approx(0.1048, rel=1e-3)
+        assert ms_per_step_to_ns_per_day(ms) == pytest.approx(1649.0)
+
+    def test_custom_timestep(self):
+        assert ms_per_step_to_ns_per_day(1.0, dt_fs=4.0) == pytest.approx(345.6)
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValueError):
+            ms_per_step_to_ns_per_day(bad)
+        with pytest.raises(ValueError):
+            ns_per_day_to_ms_per_step(bad)
+
+
+class TestSpeedupEfficiency:
+    def test_speedup_definition(self):
+        # Artifact appendix: S = NVSHMEM / MPI, S > 1 means NVSHMEM faster.
+        assert speedup(1649.0, 1126.0) == pytest.approx(1.4645, rel=1e-3)
+
+    def test_speedup_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_perfect_efficiency(self):
+        assert efficiency(200.0, 100.0, 2.0) == pytest.approx(1.0)
+
+    def test_fig4_efficiency(self):
+        # 720k: 492 ns/day on 1 node; 84% at 2 nodes -> ~827 ns/day.
+        assert efficiency(0.84 * 2 * 492.0, 492.0, 2.0) == pytest.approx(0.84)

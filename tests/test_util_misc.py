@@ -1,0 +1,93 @@
+"""RNG helpers and table rendering (repro.util)."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import Table, format_table, write_csv
+
+
+class TestRng:
+    def test_deterministic(self):
+        a = make_rng(42).random(8)
+        b = make_rng(42).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_seeds_differ(self):
+        assert not np.allclose(make_rng(1).random(8), make_rng(2).random(8))
+
+    def test_requires_seed(self):
+        with pytest.raises(ValueError):
+            make_rng(None)
+
+    def test_spawn_independence(self):
+        rngs = spawn_rngs(7, 4)
+        draws = [r.random(64) for r in rngs]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                # Independent streams: correlation near zero.
+                c = np.corrcoef(draws[i], draws[j])[0, 1]
+                assert abs(c) < 0.5
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTable:
+    def test_positional_rows_render(self):
+        t = Table(columns=("a", "b"), title="T")
+        t.add_row(1, 2.5)
+        out = t.render()
+        assert "T" in out and "a" in out and "2.5" in out
+
+    def test_named_rows(self):
+        t = Table(columns=("x", "y"))
+        t.add_row(y=2, x=1)
+        assert t.rows == [[1, 2]]
+
+    def test_named_rows_reject_bad_keys(self):
+        t = Table(columns=("x",))
+        with pytest.raises(ValueError):
+            t.add_row(z=1)
+
+    def test_mixed_args_rejected(self):
+        t = Table(columns=("x",))
+        with pytest.raises(ValueError):
+            t.add_row(1, x=1)
+
+    def test_wrong_arity_rejected(self):
+        t = Table(columns=("x", "y"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_extraction(self):
+        t = Table(columns=("x", "y"))
+        t.add_row(1, "a")
+        t.add_row(2, "b")
+        assert t.column("y") == ["a", "b"]
+
+    def test_sorted_by(self):
+        t = Table(columns=("x",))
+        t.add_row(3)
+        t.add_row(1)
+        assert t.sorted_by("x").column("x") == [1, 3]
+
+    def test_csv_roundtrip(self, tmp_path):
+        t = Table(columns=("x", "y"))
+        t.add_row(1, 2)
+        path = t.to_csv(tmp_path / "sub" / "t.csv")
+        text = path.read_text().strip().splitlines()
+        assert text == ["x,y", "1,2"]
+
+    def test_format_table_alignment(self):
+        out = format_table(("col",), [["longvalue"], ["s"]])
+        lines = out.splitlines()
+        assert len(lines[1]) >= len("longvalue")
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        p = write_csv(tmp_path / "a" / "b" / "f.csv", ("c",), [[1]])
+        assert p.exists()

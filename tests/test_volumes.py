@@ -1,0 +1,94 @@
+"""Analytic halo-volume model (repro.dd.volumes)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd.volumes import (
+    analytic_halo_volumes,
+    analytic_pair_counts,
+    analytic_pulse_sizes,
+)
+
+BOX = np.full(3, 8.0)
+RC = 1.0
+RHO = 100.0
+
+
+class TestPulseSizes:
+    def test_1d_single_slab(self):
+        pulses = analytic_pulse_sizes(BOX, (1, 1, 4), RC, RHO)
+        assert len(pulses) == 1
+        p = pulses[0]
+        assert p.dim == 2
+        assert p.send_size == pytest.approx(RHO * RC * 8.0 * 8.0)
+        assert p.dependent_size == 0.0
+
+    def test_forwarding_grows_later_pulses(self):
+        pulses = analytic_pulse_sizes(BOX, (2, 2, 2), RC, RHO)
+        assert [p.dim for p in pulses] == [2, 1, 0]
+        assert pulses[0].dependent_size == 0.0
+        assert pulses[1].dependent_size > 0.0
+        assert pulses[2].dependent_size > pulses[1].dependent_size
+
+    def test_3d_untrimmed_formula(self):
+        pulses = analytic_pulse_sizes(BOX, (2, 2, 2), RC, RHO)
+        a = 4.0  # domain extent
+        # x pulse (last): rc * (a+rc)^2 total volume.
+        assert pulses[2].send_size == pytest.approx(RHO * RC * (a + RC) ** 2)
+        assert pulses[2].independent_size == pytest.approx(RHO * RC * a * a)
+
+    def test_trim_quarter_cylinder_and_octant(self):
+        plain = analytic_pulse_sizes(BOX, (2, 2, 2), RC, RHO)
+        trim = analytic_pulse_sizes(BOX, (2, 2, 2), RC, RHO, trim_corners=True)
+        a = 4.0
+        # y pulse: edge term pi/4 rc^2 a instead of rc^2 a.
+        assert trim[1].dependent_size == pytest.approx(RHO * (math.pi / 4) * RC**2 * a)
+        # x pulse: two edges + sphere octant.
+        want = RHO * ((math.pi / 4) * RC**2 * a * 2 + (math.pi / 6) * RC**3)
+        assert trim[2].dependent_size == pytest.approx(want)
+        # Trim never grows anything; independent parts identical.
+        for p, t in zip(plain, trim):
+            assert t.send_size <= p.send_size + 1e-9
+            assert t.independent_size == pytest.approx(p.independent_size)
+
+    def test_undecomposed_dims_skipped(self):
+        pulses = analytic_pulse_sizes(BOX, (1, 2, 1), RC, RHO)
+        assert len(pulses) == 1 and pulses[0].dim == 1
+
+
+class TestAggregates:
+    def test_halo_volumes_consistent(self):
+        agg = analytic_halo_volumes(BOX, (2, 2, 2), RC, RHO)
+        pulses = analytic_pulse_sizes(BOX, (2, 2, 2), RC, RHO)
+        assert agg["n_pulses"] == 3
+        assert agg["halo_atoms"] == pytest.approx(sum(p.send_size for p in pulses))
+        assert agg["independent_atoms"] + agg["dependent_atoms"] == pytest.approx(
+            agg["halo_atoms"]
+        )
+
+    def test_eighth_shell_volume_identity(self):
+        """Total received halo equals the +octant shell (a+rc)^3 - a^3."""
+        agg = analytic_halo_volumes(BOX, (2, 2, 2), RC, RHO)
+        a = 4.0
+        assert agg["halo_atoms"] == pytest.approx(RHO * ((a + RC) ** 3 - a**3))
+
+
+class TestPairCounts:
+    def test_total_is_fair_share(self):
+        local, nonlocal_ = analytic_pair_counts(BOX, (2, 2, 2), RC, RHO)
+        v_dom = 4.0**3
+        total = v_dom * RHO**2 * (2 * math.pi / 3) * RC**3
+        assert local + nonlocal_ == pytest.approx(total)
+
+    def test_no_decomposition_all_local(self):
+        local, nonlocal_ = analytic_pair_counts(BOX, (1, 1, 1), RC, RHO)
+        assert nonlocal_ == 0.0
+
+    def test_thinner_domains_more_nonlocal(self):
+        _, nl_coarse = analytic_pair_counts(BOX, (1, 1, 2), RC, RHO)
+        _, nl_fine = analytic_pair_counts(BOX, (1, 1, 8), RC, RHO)
+        # Per-rank non-local share grows as slabs thin.
+        v2, v8 = 8.0**3 / 2, 8.0**3 / 8
+        assert nl_fine / v8 > nl_coarse / v2
