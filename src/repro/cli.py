@@ -6,32 +6,45 @@ compare    MPI vs NVSHMEM for one system/GPU-count (the Fig. 3 question)
 scaling    strong-scaling sweep on a machine (Figs. 3-5 style)
 timings    device-side timing breakdown (Figs. 6-8 style)
 timeline   ASCII schedule timeline (Figs. 1-2 style)
+profile    cycle-accounting table + Chrome/Perfetto trace for one run
 figures    regenerate every paper figure + EXPERIMENTS.md (the harness)
 verify     functional check: DD + fused NVSHMEM exchange vs serial MD
+
+``--trace out.json`` (on ``profile``, ``compare``, ``scaling``,
+``verify``) writes a Chrome trace-event file: simulated schedules export
+one pid per rank and one tid per resource row; functional runs export the
+wall-clock spans recorded by :mod:`repro.obs.tracer`.  Open the file in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Global ``-v`` / ``--quiet`` flags control the :mod:`repro.obs.log`
+logger that all reporting goes through.
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
 
 from repro.md.grappa import GRAPPA_SIZES
+from repro.obs.log import configure, get_logger
 from repro.perf.machines import machine_by_name
 from repro.perf.model import simulate_step
 from repro.perf.workload import grappa_workload
 from repro.util.tables import Table
 from repro.util.units import ms_per_step_to_ns_per_day
 
+log = get_logger("cli")
+
 
 def _resolve_atoms(system: str) -> int:
-    if system in GRAPPA_SIZES:
-        return GRAPPA_SIZES[system]
+    label = system[len("grappa-"):] if system.startswith("grappa-") else system
+    if label in GRAPPA_SIZES:
+        return GRAPPA_SIZES[label]
     try:
-        return int(system)
+        return int(label)
     except ValueError:
         raise SystemExit(
             f"unknown system '{system}': use an atom count or one of "
-            f"{', '.join(GRAPPA_SIZES)}"
+            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
         ) from None
 
 
@@ -43,8 +56,10 @@ def cmd_compare(args) -> None:
         columns=("backend", "ns_per_day", "ms_per_step", "local_us", "nonlocal_us", "non_overlap_us"),
         title=f"{args.system} on {args.gpus} GPUs ({machine.name}), grid {wl.grid}",
     )
+    graphs = {}
     for backend in ("mpi", "nvshmem"):
-        _, t = simulate_step(wl, machine, backend=backend)
+        g, t = simulate_step(wl, machine, backend=backend)
+        graphs[f"{backend} schedule"] = g
         tbl.add_row(
             backend,
             ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
@@ -53,7 +68,8 @@ def cmd_compare(args) -> None:
             t.nonlocal_work,
             t.non_overlap,
         )
-    print(tbl.render())
+    log.info("%s", tbl.render())
+    _maybe_write_graph_trace(args, graphs)
 
 
 def cmd_scaling(args) -> None:
@@ -64,16 +80,19 @@ def cmd_scaling(args) -> None:
         title=f"strong scaling: {args.system} on {machine.name}",
     )
     base = None
+    graphs = {}
     for gpus in args.gpu_counts:
         try:
             wl = grappa_workload(n_atoms, gpus, machine)
         except ValueError as err:
-            print(f"  skipping {gpus} GPUs: {err}", file=sys.stderr)
+            log.warning("  skipping %d GPUs: %s", gpus, err)
             continue
         nd = {}
         for backend in ("mpi", "nvshmem"):
-            _, t = simulate_step(wl, machine, backend=backend)
+            g, t = simulate_step(wl, machine, backend=backend)
             nd[backend] = ms_per_step_to_ns_per_day(t.time_per_step * 1e-3)
+            if backend == "nvshmem":
+                graphs[f"nvshmem {gpus} GPUs"] = g
         if base is None:
             base = (gpus, nd["nvshmem"])
         tbl.add_row(
@@ -81,7 +100,8 @@ def cmd_scaling(args) -> None:
             nd["mpi"], nd["nvshmem"], nd["nvshmem"] / nd["mpi"],
             nd["nvshmem"] / (base[1] * gpus / base[0]),
         )
-    print(tbl.render())
+    log.info("%s", tbl.render())
+    _maybe_write_graph_trace(args, graphs)
 
 
 def cmd_timings(args) -> None:
@@ -95,7 +115,7 @@ def cmd_timings(args) -> None:
     for backend in ("mpi", "nvshmem"):
         _, t = simulate_step(wl, machine, backend=backend)
         tbl.add_row(backend, t.local_work, t.nonlocal_work, t.non_overlap, t.time_per_step)
-    print(tbl.render())
+    log.info("%s", tbl.render())
 
 
 def cmd_timeline(args) -> None:
@@ -105,9 +125,11 @@ def cmd_timeline(args) -> None:
     wl = grappa_workload(_resolve_atoms(args.system), args.gpus, machine)
     g, t = simulate_step(wl, machine, backend=args.backend, n_steps=3)
     resources = sorted({x.resource for x in g.tasks.values() if x.name.startswith("s1:")})
-    print(render_timeline(g, width=args.width, resources=resources, show_labels=False))
-    print(f"steady-state step: {t.time_per_step:.1f} us "
-          f"({ms_per_step_to_ns_per_day(t.time_per_step * 1e-3):.0f} ns/day)")
+    log.info("%s", render_timeline(g, width=args.width, resources=resources, show_labels=False))
+    log.info(
+        "steady-state step: %.1f us (%.0f ns/day)",
+        t.time_per_step, ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
+    )
 
 
 def cmd_critical(args) -> None:
@@ -116,15 +138,75 @@ def cmd_critical(args) -> None:
     machine = machine_by_name(args.machine)
     wl = grappa_workload(_resolve_atoms(args.system), args.gpus, machine)
     g, _ = simulate_step(wl, machine, backend=args.backend, n_steps=4)
-    print(critical_path(g, "s3:step_end").render())
+    log.info("%s", critical_path(g, "s3:step_end").render())
+
+
+def cmd_profile(args) -> None:
+    """Cycle accounting + trace export for one simulated configuration."""
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.report import cycle_accounting, render_cycle_table, step_window
+
+    machine = machine_by_name(args.machine)
+    n_atoms = _resolve_atoms(args.system)
+    wl = grappa_workload(n_atoms, args.ranks, machine)
+    g, t = simulate_step(wl, machine, backend=args.backend, n_steps=args.steps)
+    tbl = cycle_accounting(g, window=step_window(g, t.time_per_step))
+    heading = (
+        f"{n_atoms} atoms on {args.ranks} ranks ({machine.name}), "
+        f"backend {args.backend}, grid {'x'.join(map(str, wl.grid))}"
+    )
+    log.info("%s", render_cycle_table(tbl, heading=heading))
+    log.info("")
+    log.info(
+        "time/step: %.1f us (%.0f ns/day); local %.1f us, non-local %.1f us, "
+        "exposed non-overlap %.1f us",
+        t.time_per_step, ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
+        t.local_work, t.nonlocal_work, t.non_overlap,
+    )
+    if args.trace:
+        path = write_chrome_trace(
+            args.trace,
+            graphs={0: g},
+            metadata={
+                "system": args.system, "ranks": args.ranks,
+                "machine": machine.name, "backend": args.backend,
+                "time_per_step_us": t.time_per_step,
+            },
+        )
+        log.info("wrote Chrome trace %s (open in chrome://tracing or ui.perfetto.dev)", path)
+    if args.mdlog:
+        from repro.analysis.mdlog import write_log
+
+        write_log(
+            args.mdlog,
+            label=f"profile_{args.system}_{args.ranks}r_{args.backend}",
+            backend=args.backend,
+            n_ranks=args.ranks,
+            n_atoms=n_atoms,
+            time_per_step_us=t.time_per_step,
+            grid=wl.grid,
+            extra=t.as_dict(),
+        )
+        log.info("wrote mdrun-style log %s", args.mdlog)
 
 
 def cmd_figures(args) -> None:
-    from repro.harness.runner import run_all, write_experiments_md
+    from repro.harness.runner import check_results, run_all, write_experiments_md
 
+    if args.check:
+        drift = check_results(args.out)
+        if drift:
+            for line in drift:
+                log.error("DRIFT %s", line)
+            raise SystemExit(
+                f"figures --check: {len(drift)} experiment(s) drift from "
+                f"committed CSVs under {args.out}/"
+            )
+        log.info("OK: all experiment tables match the committed CSVs under %s/", args.out)
+        return
     results = run_all(args.out, verbose=not args.quiet)
     write_experiments_md(args.md, results)
-    print(f"wrote {args.md} and CSVs under {args.out}/")
+    log.info("wrote %s and CSVs under %s/", args.md, args.out)
 
 
 def cmd_verify(args) -> None:
@@ -133,7 +215,13 @@ def cmd_verify(args) -> None:
     from repro.comm import NvshmemBackend
     from repro.dd import DDSimulator
     from repro.md import ReferenceSimulator, default_forcefield, make_grappa_system
+    from repro.obs.metrics import METRICS
+    from repro.obs.report import metrics_table
+    from repro.obs.tracer import TRACER
 
+    if args.trace:
+        TRACER.enable()
+        TRACER.clear()
     ff = default_forcefield(cutoff=0.65)
     system = make_grappa_system(args.atoms, seed=args.seed, ff=ff, dtype=np.float64)
     serial = system.copy()
@@ -146,38 +234,70 @@ def cmd_verify(args) -> None:
     dx = system.positions - serial.positions
     dx -= np.rint(dx / system.box) * system.box
     dev = float(np.abs(dx).max())
-    print(f"{args.steps} steps, {args.ranks} ranks (grid {dd.grid.shape}), "
-          f"max deviation vs serial: {dev:.2e} nm")
+    log.info(
+        "%d steps, %d ranks (grid %s), max deviation vs serial: %.2e nm",
+        args.steps, args.ranks, dd.grid.shape, dev,
+    )
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.trace,
+            spans=TRACER.spans,
+            metadata={"atoms": args.atoms, "ranks": args.ranks, "steps": args.steps},
+        )
+        TRACER.disable()
+        log.info("wrote Chrome trace %s (%d spans)", path, len(TRACER.spans))
+    log.debug("%s", metrics_table(METRICS).render())
     if dev > 1e-10:
         raise SystemExit("FAILED: trajectories diverged")
-    print("OK: fused NVSHMEM halo exchange is bit-consistent with serial MD")
+    log.info("OK: fused NVSHMEM halo exchange is bit-consistent with serial MD")
+
+
+def _maybe_write_graph_trace(args, graphs: dict) -> None:
+    if getattr(args, "trace", None) and graphs:
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(args.trace, graphs=graphs)
+        log.info("wrote Chrome trace %s (open in chrome://tracing or ui.perfetto.dev)", path)
 
 
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(
         prog="repro", description="GROMACS NVSHMEM halo-exchange reproduction"
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="debug logging (repeatable)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress everything below WARNING")
+    # The same flags are accepted after the subcommand; SUPPRESS keeps the
+    # pre-subcommand values when the post-subcommand flags are absent.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=argparse.SUPPRESS)
+    common.add_argument("-q", "--quiet", action="store_true", default=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    p = sub.add_parser("compare", help="MPI vs NVSHMEM for one configuration")
+    p = sub.add_parser("compare", parents=[common], help="MPI vs NVSHMEM for one configuration")
     p.add_argument("system", nargs="?", default="45k")
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--machine", default="dgx-h100")
+    p.add_argument("--trace", default=None, help="write both schedules as Chrome-trace JSON")
     p.set_defaults(fn=cmd_compare)
 
-    p = sub.add_parser("scaling", help="strong-scaling sweep")
+    p = sub.add_parser("scaling", parents=[common], help="strong-scaling sweep")
     p.add_argument("system", nargs="?", default="720k")
     p.add_argument("--machine", default="eos")
     p.add_argument("--gpu-counts", type=int, nargs="+", default=[8, 16, 32, 64, 128])
+    p.add_argument("--trace", default=None, help="write NVSHMEM schedules as Chrome-trace JSON")
     p.set_defaults(fn=cmd_scaling)
 
-    p = sub.add_parser("timings", help="device-side timing breakdown")
+    p = sub.add_parser("timings", parents=[common], help="device-side timing breakdown")
     p.add_argument("system", nargs="?", default="45k")
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--machine", default="dgx-h100")
     p.set_defaults(fn=cmd_timings)
 
-    p = sub.add_parser("timeline", help="ASCII schedule timeline (Figs. 1-2)")
+    p = sub.add_parser("timeline", parents=[common], help="ASCII schedule timeline (Figs. 1-2)")
     p.add_argument("system", nargs="?", default="180k")
     p.add_argument("--gpus", type=int, default=16)
     p.add_argument("--machine", default="eos")
@@ -185,27 +305,45 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--width", type=int, default=110)
     p.set_defaults(fn=cmd_timeline)
 
-    p = sub.add_parser("critical", help="critical-path analysis of a step")
+    p = sub.add_parser("critical", parents=[common], help="critical-path analysis of a step")
     p.add_argument("system", nargs="?", default="45k")
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--machine", default="dgx-h100")
     p.add_argument("--backend", choices=("mpi", "nvshmem", "threadmpi"), default="nvshmem")
     p.set_defaults(fn=cmd_critical)
 
-    p = sub.add_parser("figures", help="regenerate all paper figures")
+    p = sub.add_parser(
+        "profile", parents=[common],
+        help="cycle-accounting table + Chrome/Perfetto trace for one run",
+    )
+    p.add_argument("--system", default="45k",
+                   help="atom count or grappa label (e.g. 360k or grappa-360k)")
+    p.add_argument("--ranks", type=int, default=8, help="GPU/PE count")
+    p.add_argument("--machine", default="eos")
+    p.add_argument("--backend", choices=("mpi", "nvshmem", "threadmpi"), default="nvshmem")
+    p.add_argument("--steps", type=int, default=4, help="chained steps to simulate")
+    p.add_argument("--trace", default=None, help="Chrome-trace JSON output path")
+    p.add_argument("--mdlog", default=None, help="also write an mdrun-style log here")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("figures", parents=[common], help="regenerate all paper figures")
     p.add_argument("--out", default="results")
     p.add_argument("--md", default="EXPERIMENTS.md")
-    p.add_argument("--quiet", action="store_true")
+    p.add_argument("--check", action="store_true",
+                   help="regenerate in-memory and fail on drift vs committed CSVs")
     p.set_defaults(fn=cmd_figures)
 
-    p = sub.add_parser("verify", help="functional DD-vs-serial check")
+    p = sub.add_parser("verify", parents=[common], help="functional DD-vs-serial check")
     p.add_argument("--atoms", type=int, default=3000)
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--steps", type=int, default=10)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", default=None,
+                   help="record engine spans and write them as Chrome-trace JSON")
     p.set_defaults(fn=cmd_verify)
 
     args = parser.parse_args(argv)
+    configure(verbosity=args.verbose, quiet=args.quiet)
     args.fn(args)
 
 

@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.comm.base import HaloBackend, register_backend
 from repro.dd.exchange import ClusterState
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 
 
 @register_backend("mpi")
@@ -64,11 +66,21 @@ class MpiBackend(HaloBackend):
             out[target] = payload[rp.rank]
             self.n_sendrecv += 1
             self.bytes_sent += payload[rp.rank].nbytes
+            direction = "f" if reverse else "x"
+            METRICS.counter("comm.pulses", backend="mpi", dir=direction).inc()
+            METRICS.counter("comm.bytes", backend="mpi", dir=direction).inc(
+                payload[rp.rank].nbytes
+            )
         return out
 
     # -- coordinates ------------------------------------------------------------
 
     def exchange_coordinates(self, cluster: ClusterState) -> None:
+        plan = cluster.plan
+        with TRACER.span("comm.mpi.halo_x", cat="comm", pulses=plan.n_pulses):
+            self._exchange_coordinates(cluster)
+
+    def _exchange_coordinates(self, cluster: ClusterState) -> None:
         plan = cluster.plan
         for pid in range(plan.n_pulses):
             # Pack kernels (one per rank; a CPU wait precedes the MPI call).
@@ -91,6 +103,11 @@ class MpiBackend(HaloBackend):
     # -- forces --------------------------------------------------------------------
 
     def exchange_forces(self, cluster: ClusterState) -> None:
+        plan = cluster.plan
+        with TRACER.span("comm.mpi.halo_f", cat="comm", pulses=plan.n_pulses):
+            self._exchange_forces(cluster)
+
+    def _exchange_forces(self, cluster: ClusterState) -> None:
         plan = cluster.plan
         for pid in range(plan.n_pulses - 1, -1, -1):
             for rp in plan.ranks:

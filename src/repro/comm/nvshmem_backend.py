@@ -35,6 +35,8 @@ from repro.comm.base import HaloBackend, register_backend
 from repro.comm.scheduler import CooperativeScheduler
 from repro.dd.exchange import ClusterState
 from repro.nvshmem.runtime import NodeTopology, NvshmemRuntime
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 
 
 @register_backend("nvshmem")
@@ -135,10 +137,32 @@ class NvshmemBackend(HaloBackend):
                 )
         rng = np.random.default_rng(self.seed + self._exchange_count)
         self._exchange_count += 1
-        sched = CooperativeScheduler(rng=rng)
-        sched.run(tasks, on_stall=lambda: rt.progress(n_ops=1, order=rng) > 0)
+        with TRACER.span("comm.nvshmem.halo_x", cat="comm", pulses=plan.n_pulses):
+            self._run_scheduled(tasks, rng, direction="x")
         # The schedule is complete; all signals observed. (quiet for hygiene)
         rt.quiet()
+
+    def _run_scheduled(self, tasks, rng, direction: str) -> None:
+        """Drive the fused kernels' task generators, counting proxy stalls.
+
+        A stall round (no task runnable without proxy progress) is the
+        functional analogue of signal wait time: block groups spinning on
+        acquire-waits until the IB proxy delivers.
+        """
+        rt = self.runtime
+        stalls = 0
+
+        def on_stall() -> bool:
+            nonlocal stalls
+            stalls += 1
+            return rt.progress(n_ops=1, order=rng) > 0
+
+        sched = CooperativeScheduler(rng=rng)
+        sched.run(tasks, on_stall=on_stall)
+        METRICS.counter("comm.stall_rounds", backend="nvshmem", dir=direction).inc(stalls)
+        METRICS.histogram("comm.sched_rounds", backend="nvshmem", dir=direction).observe(
+            sched.rounds_used
+        )
 
     def _coord_task(self, cluster: ClusterState, rank: int, pid: int, epoch: int):
         """FusedPackCommX for one (rank, pulse): a cooperative generator."""
@@ -227,8 +251,8 @@ class NvshmemBackend(HaloBackend):
                 )
         rng = np.random.default_rng(self.seed + self._exchange_count)
         self._exchange_count += 1
-        sched = CooperativeScheduler(rng=rng)
-        sched.run(tasks, on_stall=lambda: rt.progress(n_ops=1, order=rng) > 0)
+        with TRACER.span("comm.nvshmem.halo_f", cat="comm", pulses=plan.n_pulses):
+            self._run_scheduled(tasks, rng, direction="f")
         rt.quiet()
 
     def _force_block_ready(

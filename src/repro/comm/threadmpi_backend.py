@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.comm.base import HaloBackend, register_backend
 from repro.dd.exchange import ClusterState
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 
 
 @register_backend("threadmpi")
@@ -40,37 +42,47 @@ class ThreadMpiBackend(HaloBackend):
 
     def exchange_coordinates(self, cluster: ClusterState) -> None:
         plan = cluster.plan
-        for pid in range(plan.n_pulses):
-            # Pack kernels on every rank (sender-side gather into a launch
-            # buffer), then peer DMA copies; pulse p+1's packs depend on
-            # pulse p's copy events — enforced here by the loop order.
-            packed = []
-            for rp in plan.ranks:
-                p = rp.pulses[pid]
-                buf = cluster.local_pos[rp.rank][p.index_map]
-                packed.append(buf + p.coord_shift.astype(buf.dtype))
-            for rp in plan.ranks:
-                p = rp.pulses[pid]
-                dp = plan.ranks[p.send_rank].pulses[pid]
-                dest = cluster.local_pos[p.send_rank]
-                dest[dp.atom_offset : dp.atom_offset + dp.recv_size] = packed[rp.rank]
-                self.n_copies += 1
-                self.bytes_copied += packed[rp.rank].nbytes
+        with TRACER.span("comm.threadmpi.halo_x", cat="comm", pulses=plan.n_pulses):
+            for pid in range(plan.n_pulses):
+                # Pack kernels on every rank (sender-side gather into a launch
+                # buffer), then peer DMA copies; pulse p+1's packs depend on
+                # pulse p's copy events — enforced here by the loop order.
+                packed = []
+                for rp in plan.ranks:
+                    p = rp.pulses[pid]
+                    buf = cluster.local_pos[rp.rank][p.index_map]
+                    packed.append(buf + p.coord_shift.astype(buf.dtype))
+                for rp in plan.ranks:
+                    p = rp.pulses[pid]
+                    dp = plan.ranks[p.send_rank].pulses[pid]
+                    dest = cluster.local_pos[p.send_rank]
+                    dest[dp.atom_offset : dp.atom_offset + dp.recv_size] = packed[rp.rank]
+                    self.n_copies += 1
+                    self.bytes_copied += packed[rp.rank].nbytes
+                    METRICS.counter("comm.pulses", backend="threadmpi", dir="x").inc()
+                    METRICS.counter("comm.bytes", backend="threadmpi", dir="x").inc(
+                        packed[rp.rank].nbytes
+                    )
 
     def exchange_forces(self, cluster: ClusterState) -> None:
         plan = cluster.plan
-        for pid in range(plan.n_pulses - 1, -1, -1):
-            staged = []
-            for rp in plan.ranks:
-                p = rp.pulses[pid]
-                staged.append(
-                    cluster.local_forces[rp.rank][
-                        p.atom_offset : p.atom_offset + p.recv_size
-                    ].copy()
-                )
-                self.n_copies += 1
-                self.bytes_copied += staged[-1].nbytes
-            for rp in plan.ranks:
-                p = rp.pulses[pid]
-                tp = plan.ranks[p.recv_rank].pulses[pid]
-                np.add.at(cluster.local_forces[p.recv_rank], tp.index_map, staged[rp.rank])
+        with TRACER.span("comm.threadmpi.halo_f", cat="comm", pulses=plan.n_pulses):
+            for pid in range(plan.n_pulses - 1, -1, -1):
+                staged = []
+                for rp in plan.ranks:
+                    p = rp.pulses[pid]
+                    staged.append(
+                        cluster.local_forces[rp.rank][
+                            p.atom_offset : p.atom_offset + p.recv_size
+                        ].copy()
+                    )
+                    self.n_copies += 1
+                    self.bytes_copied += staged[-1].nbytes
+                    METRICS.counter("comm.pulses", backend="threadmpi", dir="f").inc()
+                    METRICS.counter("comm.bytes", backend="threadmpi", dir="f").inc(
+                        staged[-1].nbytes
+                    )
+                for rp in plan.ranks:
+                    p = rp.pulses[pid]
+                    tp = plan.ranks[p.recv_rank].pulses[pid]
+                    np.add.at(cluster.local_forces[p.recv_rank], tp.index_map, staged[rp.rank])

@@ -29,6 +29,8 @@ from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
 from repro.md.nonbonded import NonbondedKernel
 from repro.md.reference import StepEnergies
 from repro.md.system import MDSystem
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
 
 
 @dataclass
@@ -170,6 +172,15 @@ class DDSimulator:
                     pulse_send_sizes=[p.send_size for p in plan.pulses],
                 )
             )
+        METRICS.counter("dd.ns_builds").inc()
+        METRICS.gauge("dd.pairs_local").set(sum(w.n_pairs_local for w in self.workloads))
+        METRICS.gauge("dd.pairs_nonlocal").set(
+            sum(w.n_pairs_nonlocal for w in self.workloads)
+        )
+        METRICS.gauge("dd.halo_atoms").set(sum(w.n_halo for w in self.workloads))
+        for w in self.workloads:
+            for size in w.pulse_send_sizes:
+                METRICS.histogram("dd.pulse_send_atoms").observe(size)
 
     def _assign_bonded(self) -> None:
         """Rank-local bonded lists by the zone rule (exactly-once assignment).
@@ -234,6 +245,8 @@ class DDSimulator:
         e_lj_total = 0.0
         e_coul_total = 0.0
         e_bonded_total = 0.0
+        nb_span = TRACER.span("dd.nonbonded", cat="force", ranks=self.n_ranks)
+        nb_span.__enter__()
         for r in range(self.n_ranks):
             cluster.local_forces[r][:] = 0.0
             i, j = self._pairs[r]
@@ -275,22 +288,25 @@ class DDSimulator:
             )
             e_lj_total += e_lj
             e_coul_total += e_coul
-        self.backend.exchange_forces(cluster)
+        nb_span.__exit__(None, None, None)
+        with TRACER.span("dd.halo_f", cat="comm", backend=getattr(self.backend, "name", "?")):
+            self.backend.exchange_forces(cluster)
         if self._pme_session is not None:
             # PP -> PME -> PP round trip for the reciprocal-space part
             # (home atoms only; the mesh term needs no halo).
-            pos_per_pp = []
-            q_per_pp = []
-            for rp in cluster.plan.ranks:
-                nh = rp.n_home
-                pos_per_pp.append(cluster.local_pos[rp.rank][:nh].astype(np.float64))
-                q_per_pp.append(cluster.local_charges[rp.rank][:nh])
-            e_rec, f_parts = self._pme_session.compute(pos_per_pp, q_per_pp)
-            for rp, f_rec in zip(cluster.plan.ranks, f_parts):
-                cluster.local_forces[rp.rank][: rp.n_home] += f_rec.astype(
-                    cluster.local_forces[rp.rank].dtype
-                )
-            e_coul_total += e_rec
+            with TRACER.span("dd.pme", cat="force"):
+                pos_per_pp = []
+                q_per_pp = []
+                for rp in cluster.plan.ranks:
+                    nh = rp.n_home
+                    pos_per_pp.append(cluster.local_pos[rp.rank][:nh].astype(np.float64))
+                    q_per_pp.append(cluster.local_charges[rp.rank][:nh])
+                e_rec, f_parts = self._pme_session.compute(pos_per_pp, q_per_pp)
+                for rp, f_rec in zip(cluster.plan.ranks, f_parts):
+                    cluster.local_forces[rp.rank][: rp.n_home] += f_rec.astype(
+                        cluster.local_forces[rp.rank].dtype
+                    )
+                e_coul_total += e_rec
         return e_lj_total, e_coul_total, e_bonded_total
 
     def gathered_forces(self) -> np.ndarray:
@@ -302,31 +318,38 @@ class DDSimulator:
     def prepare_step(self) -> None:
         """Neighbour search or coordinate halo, as the lifecycle demands."""
         if self._needs_ns():
-            self.neighbor_search()
-            self.backend.bind(self.cluster)
-        self.backend.exchange_coordinates(self.cluster)
+            with TRACER.span("dd.ns", cat="dd", step=self.step_count):
+                self.neighbor_search()
+                self.backend.bind(self.cluster)
+        with TRACER.span(
+            "dd.halo_x", cat="comm", backend=getattr(self.backend, "name", "?")
+        ):
+            self.backend.exchange_coordinates(self.cluster)
 
     def step(self) -> StepEnergies:
         """One complete MD step across all ranks."""
-        self.prepare_step()
-        e_lj, e_coul, e_bonded = self.compute_forces()
-        cluster = self.cluster
-        kin = 0.0
-        for r, plan in enumerate(cluster.plan.ranks):
-            nh = plan.n_home
-            x, v = self._integrator.step(
-                cluster.local_pos[r][:nh],
-                cluster.local_vel[r],
-                cluster.local_forces[r][:nh],
-                cluster.local_masses[r],
-            )
-            cluster.local_pos[r][:nh] = x
-            cluster.local_vel[r] = v
-            home_ids = plan.global_ids[:nh]
-            self.system.positions[home_ids] = x
-            self.system.velocities[home_ids] = v
-            self.system.forces[home_ids] = cluster.local_forces[r][:nh]
-            kin += kinetic_energy(v, cluster.local_masses[r])
+        with TRACER.span("dd.step", cat="dd", step=self.step_count):
+            self.prepare_step()
+            e_lj, e_coul, e_bonded = self.compute_forces()
+            cluster = self.cluster
+            kin = 0.0
+            with TRACER.span("dd.integrate", cat="update"):
+                for r, plan in enumerate(cluster.plan.ranks):
+                    nh = plan.n_home
+                    x, v = self._integrator.step(
+                        cluster.local_pos[r][:nh],
+                        cluster.local_vel[r],
+                        cluster.local_forces[r][:nh],
+                        cluster.local_masses[r],
+                    )
+                    cluster.local_pos[r][:nh] = x
+                    cluster.local_vel[r] = v
+                    home_ids = plan.global_ids[:nh]
+                    self.system.positions[home_ids] = x
+                    self.system.velocities[home_ids] = v
+                    self.system.forces[home_ids] = cluster.local_forces[r][:nh]
+                    kin += kinetic_energy(v, cluster.local_masses[r])
+        METRICS.counter("dd.steps").inc()
         rec = StepEnergies(
             step=self.step_count, lj=e_lj, coulomb=e_coul, kinetic=kin, bonded=e_bonded
         )

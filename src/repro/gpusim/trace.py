@@ -68,6 +68,13 @@ def extract_timings(
         raise KeyError(f"schedule has no '{prefix}{NONLOCAL_PREFIX}*' tasks")
     # GPU-side span only: CPU launch/sync tasks are not device timestamps.
     device = [t for t in nonlocal_tasks if t.kind in ("kernel", "pack", "comm")]
+    if not device:
+        kinds = sorted({t.kind for t in nonlocal_tasks})
+        raise ValueError(
+            f"non-local span '{prefix}{NONLOCAL_PREFIX}*' has no device tasks: "
+            f"all {len(nonlocal_tasks)} matching task(s) are of CPU kinds "
+            f"{kinds}; device timings need kernel/pack/comm tasks"
+        )
     first = min(t.start for t in device)
     last = max(t.end for t in device)
     local_work = local.end - local.start

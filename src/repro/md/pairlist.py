@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.md.cells import CellList, periodic_cell_list
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -66,6 +67,8 @@ class VerletListBuilder:
     def build(self, positions: np.ndarray) -> PairList:
         """Full neighbour search at the buffered radius."""
         i, j = self._cells.pairs_within(positions, self.r_list)
+        METRICS.counter("pairlist.builds").inc()
+        METRICS.histogram("pairlist.pairs_built").observe(int(i.size))
         return PairList(i=i, j=j, r_list=self.r_list, ref_positions=np.array(positions, copy=True))
 
     def needs_rebuild(self, pairs: PairList, positions: np.ndarray) -> bool:
@@ -97,6 +100,11 @@ class VerletListBuilder:
         dx -= np.rint(dx / self.box) * self.box
         r2 = np.einsum("ij,ij->i", dx, dx)
         mask = r2 <= keep_r * keep_r
+        kept = int(np.count_nonzero(mask))
+        METRICS.counter("pairlist.prunes").inc()
+        METRICS.counter("pairlist.pairs_dropped").inc(pairs.n_pairs - kept)
+        if pairs.n_pairs:
+            METRICS.histogram("pairlist.keep_frac").observe(kept / pairs.n_pairs)
         pruned = PairList(
             i=pairs.i[mask],
             j=pairs.j[mask],

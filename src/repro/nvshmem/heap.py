@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
+
 
 class SymmetricAllocationError(RuntimeError):
     """Violation of the collective symmetric-allocation contract."""
@@ -97,6 +99,11 @@ class SymmetricHeap:
         if buf.joined[pe]:
             raise SymmetricAllocationError(f"PE {pe} already joined '{name}'")
         buf.joined[pe] = True
+        if buf.complete:
+            # The collective completes on the last join: account one
+            # allocation and the new per-PE heap footprint.
+            METRICS.counter("nvshmem.heap.allocs").inc()
+            METRICS.gauge("nvshmem.heap.bytes").set(self.total_bytes())
         return buf
 
     def alloc_all(self, name: str, shape: tuple[int, ...], dtype=np.float32) -> SymmetricBuffer:
@@ -115,6 +122,7 @@ class SymmetricHeap:
         """``nvshmemx_buffer_register``: make a local array usable as a put/get
         *source* without symmetric allocation."""
         self._registered.setdefault(pe, []).append(array)
+        METRICS.counter("nvshmem.heap.registered").inc()
         return array
 
     def is_registered(self, pe: int, array: np.ndarray) -> bool:

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.nvshmem.heap import SymmetricBuffer, SymmetricHeap
 from repro.nvshmem.signals import SignalArray
+from repro.obs.metrics import METRICS
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,13 @@ class NvshmemRuntime:
         self.stats = OpStats()
         self._signals: dict[str, SignalArray] = {}
         self._pending: list[PendingOp] = []
+        # Registry instruments resolved once; the ops only pay an inc().
+        self._m_puts = METRICS.counter("nvshmem.puts")
+        self._m_gets = METRICS.counter("nvshmem.gets")
+        self._m_put_signals = METRICS.counter("nvshmem.put_signals")
+        self._m_direct_stores = METRICS.counter("nvshmem.direct_stores")
+        self._m_bytes_put = METRICS.counter("nvshmem.bytes_put")
+        self._m_bytes_got = METRICS.counter("nvshmem.bytes_got")
 
     @property
     def n_pes(self) -> int:
@@ -161,6 +169,8 @@ class NvshmemRuntime:
             )
         self.stats.puts += 1
         self.stats.bytes_put += data.nbytes
+        self._m_puts.inc()
+        self._m_bytes_put.inc(data.nbytes)
         op = PendingOp(
             kind="put",
             target_pe=target_pe,
@@ -194,6 +204,8 @@ class NvshmemRuntime:
         self.stats.gets += 1
         out = np.array(src[offset : offset + count], copy=True)
         self.stats.bytes_got += out.nbytes
+        self._m_gets.inc()
+        self._m_bytes_got.inc(out.nbytes)
         return out
 
     def put_signal_nbi(
@@ -222,6 +234,8 @@ class NvshmemRuntime:
         self.stats.put_signals += 1
         self.stats.bytes_put += data.nbytes
         self.stats.signals_set += 1
+        self._m_put_signals.inc()
+        self._m_bytes_put.inc(data.nbytes)
         op = PendingOp(
             kind="put_signal",
             target_pe=target_pe,
@@ -243,6 +257,7 @@ class NvshmemRuntime:
             raise ValueError("direct_store requires an NVLink-reachable pointer")
         view[offset : offset + data.shape[0]] = data
         self.stats.direct_stores += 1
+        self._m_direct_stores.inc()
 
     # -- ordering / progress ----------------------------------------------------------
 

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
+
 
 class SignalError(RuntimeError):
     """Memory-ordering misuse of a signal (acquire on a relaxed store)."""
@@ -37,6 +39,11 @@ class SignalArray:
             raise ValueError("n_pes must be >= 1 and n_signals >= 0")
         self.values = np.zeros((self.n_pes, self.n_signals), dtype=np.uint64)
         self._released = np.zeros((self.n_pes, self.n_signals), dtype=bool)
+        # Registry instruments resolved once (the acquire poll is hot: the
+        # cooperative scheduler spins on it like the resident block groups).
+        self._m_stores = METRICS.counter("nvshmem.signal.stores")
+        self._m_polls = METRICS.counter("nvshmem.signal.polls")
+        self._m_waits = METRICS.counter("nvshmem.signal.waits_satisfied")
 
     def reset(self) -> None:
         """Zero all slots (start of a fresh exchange epoch)."""
@@ -49,11 +56,13 @@ class SignalArray:
         """``st.release.sys``: value visible only after prior data writes."""
         self.values[pe, idx] = value
         self._released[pe, idx] = True
+        self._m_stores.inc()
 
     def relaxed_store(self, pe: int, idx: int, value: int) -> None:
         """``st.relaxed.sys``: no ordering with prior data writes."""
         self.values[pe, idx] = value
         self._released[pe, idx] = False
+        self._m_stores.inc()
 
     # -- waits ----------------------------------------------------------------
 
@@ -68,8 +77,10 @@ class SignalArray:
         paper's relaxed-store case: first pulse of the force send, where no
         prior writes need flushing).
         """
+        self._m_polls.inc()
         if not self.is_set(pe, idx, value):
             return False
+        self._m_waits.inc()
         if self.strict and needs_data and not self._released[pe, idx]:
             raise SignalError(
                 f"signal '{self.name}'[{idx}] on PE {pe} satisfied by a "

@@ -1,0 +1,159 @@
+"""Chrome trace-event / Perfetto JSON export.
+
+Two sources feed the same trace format, so functional runs and simulated
+schedules open side by side in ``chrome://tracing`` / https://ui.perfetto.dev:
+
+* recorded wall-clock :class:`~repro.obs.tracer.Span` objects — one pid
+  per (rank-labelled) tracer, one tid per recording thread;
+* evaluated :class:`~repro.gpusim.graph.TaskGraph` schedules — one pid
+  per rank, one tid per resource row (GPU streams, CPU thread, wires/NIC),
+  reproducing the paper's Figs. 1-2 timelines interactively.
+
+All events are "X" (complete) phases with microsecond timestamps, plus
+"M" metadata events naming processes and threads.  The emitted object is
+the JSON Object Format (``{"traceEvents": [...]}``), which both viewers
+accept.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.gpusim.graph import TaskGraph
+from repro.obs.tracer import Span
+
+#: tid used for metadata-only rows never collides with real thread ids.
+_META = {"process_name": "process_name", "thread_name": "thread_name"}
+
+
+def span_events(spans: Iterable[Span], pid: int | None = None) -> list[dict]:
+    """Complete events for recorded wall-clock spans.
+
+    ``pid`` overrides each span's own pid (useful when merging several
+    tracers into one file).
+    """
+    events = []
+    for s in spans:
+        ev = {
+            "name": s.name,
+            "cat": s.cat or "span",
+            "ph": "X",
+            "ts": s.ts_us,
+            "dur": s.dur_us,
+            "pid": s.pid if pid is None else pid,
+            "tid": s.tid,
+        }
+        args = dict(s.args)
+        if s.parent:
+            args["parent"] = s.parent
+        if args:
+            ev["args"] = args
+        events.append(ev)
+    return events
+
+
+def graph_events(graph: TaskGraph, rank: int = 0, process_name: str | None = None) -> list[dict]:
+    """Events for one evaluated schedule: pid = rank, tid = resource row.
+
+    Resource rows get stable tids in first-appearance (enqueue) order and
+    ``thread_name`` metadata, so the Perfetto track layout matches the
+    ASCII timeline renderer's row order.
+    """
+    graph.evaluate()
+    tids: dict[str, int] = {}
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": rank,
+            "tid": 0,
+            "args": {"name": process_name or f"rank {rank}"},
+        }
+    ]
+    for name in graph._order:
+        t = graph.tasks[name]
+        if t.resource not in tids:
+            tid = tids[t.resource] = len(tids)
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "args": {"name": t.resource},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": rank,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        events.append(
+            {
+                "name": t.name,
+                "cat": t.kind,
+                "ph": "X",
+                "ts": t.start,
+                "dur": t.end - t.start,
+                "pid": rank,
+                "tid": tids[t.resource],
+                "args": {"kind": t.kind, "resource": t.resource, "deps": list(t.deps)},
+            }
+        )
+    return events
+
+
+def resource_tids(graph: TaskGraph) -> dict[str, int]:
+    """The tid assigned to each resource row by :func:`graph_events`."""
+    tids: dict[str, int] = {}
+    for name in graph._order:
+        res = graph.tasks[name].resource
+        if res not in tids:
+            tids[res] = len(tids)
+    return tids
+
+
+def chrome_trace(events: list[dict], metadata: dict | None = None) -> dict:
+    """Wrap events in the JSON Object Format, metadata first, then by ts."""
+    meta = [e for e in events if e.get("ph") == "M"]
+    rest = sorted(
+        (e for e in events if e.get("ph") != "M"), key=lambda e: e.get("ts", 0.0)
+    )
+    doc = {"traceEvents": meta + rest, "displayTimeUnit": "ms"}
+    if metadata:
+        doc["otherData"] = metadata
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span] = (),
+    graphs: Mapping[int | str, TaskGraph] | None = None,
+    metadata: dict | None = None,
+) -> Path:
+    """Write spans and/or schedules as one Chrome-trace JSON file.
+
+    ``graphs`` maps a rank (int) or a label (str) to an evaluated graph;
+    integer keys become that pid directly, string keys get sequential pids
+    and the string as the process name.
+    """
+    events: list[dict] = list(span_events(spans))
+    if graphs:
+        next_pid = 1000  # clear of tracer pids (ranks are small ints)
+        for key, g in graphs.items():
+            if isinstance(key, int):
+                events.extend(graph_events(g, rank=key))
+            else:
+                events.extend(graph_events(g, rank=next_pid, process_name=str(key)))
+                next_pid += 1
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(chrome_trace(events, metadata=metadata), fh, indent=1)
+    return path

@@ -1,0 +1,62 @@
+"""Harness/CLI logging: structured, suppressible replacement for ``print``.
+
+All user-facing reporting from :mod:`repro.cli` and the experiment harness
+goes through stdlib ``logging`` under the ``repro`` namespace:
+
+* INFO and below go to stdout (the harness' normal table output),
+  WARNING and above to stderr — same split as the previous ``print`` /
+  ``print(file=sys.stderr)`` calls, so piping behaviour is unchanged;
+* ``-v`` enables DEBUG with a prefixed format, ``--quiet`` suppresses
+  everything below WARNING;
+* streams are resolved at emit time (not handler-construction time), so
+  pytest's ``capsys`` and test-harness stream swaps keep working.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT = "repro"
+
+
+class _DynamicStreamHandler(logging.Handler):
+    """Writes to the *current* sys.stdout/sys.stderr, chosen per record."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            stream = sys.stderr if record.levelno >= logging.WARNING else sys.stdout
+            stream.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - mirror logging's resilience
+            self.handleError(record)
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger in the ``repro`` hierarchy (``repro`` or ``repro.<name>``)."""
+    return logging.getLogger(ROOT if not name else f"{ROOT}.{name}")
+
+
+def configure(verbosity: int = 0, quiet: bool = False) -> logging.Logger:
+    """Install the handler once and set the level from CLI flags.
+
+    Idempotent: repeated calls replace the previous configuration, so
+    tests invoking the CLI many times don't stack handlers.
+    """
+    root = logging.getLogger(ROOT)
+    for h in list(root.handlers):
+        if isinstance(h, _DynamicStreamHandler):
+            root.removeHandler(h)
+    handler = _DynamicStreamHandler()
+    if verbosity > 0:
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+    root.addHandler(handler)
+    if quiet:
+        root.setLevel(logging.WARNING)
+    elif verbosity > 0:
+        root.setLevel(logging.DEBUG)
+    else:
+        root.setLevel(logging.INFO)
+    root.propagate = False
+    return root

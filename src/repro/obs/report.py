@@ -1,0 +1,159 @@
+"""Per-step run reports: GROMACS-style cycle accounting over a schedule.
+
+GROMACS ends every log with the "R E A L   C Y C L E   A N D   T I M E
+A C C O U N T I N G" table: wall time partitioned over activities so the
+rows sum to the step total.  We reproduce that accounting over an
+evaluated :class:`~repro.gpusim.graph.TaskGraph`: the step window is swept
+segment by segment and each segment is attributed to exactly one activity
+— the highest-precedence phase active in it.  Compute phases take
+precedence over communication, which takes precedence over CPU API work,
+so the communication rows report *exposed* (non-overlapped) time, the
+quantity the paper's Sec. 6.3 instrumentation isolates.  By construction
+the rows partition the window: they sum to the step time exactly.
+
+:func:`metrics_table` renders the :mod:`repro.obs.metrics` registry
+through the same :class:`~repro.util.tables.Table` machinery, and
+:func:`mdlog_extra` flattens it for :func:`repro.analysis.mdlog.write_log`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.gpusim.graph import Task, TaskGraph
+from repro.obs.metrics import METRICS, Histogram, MetricsRegistry, format_labels
+from repro.util.tables import Table
+
+_STEP_PREFIX = re.compile(r"^s\d+:")
+
+#: Activities in attribution-precedence order (first match wins both for
+#: classification and for ownership of a contested time segment).
+PHASES: tuple[tuple[str, "re.Pattern"], ...] = tuple(
+    (label, re.compile(pat))
+    for label, pat in (
+        ("Update / constraints", r"^(reduce_f|integrate|update_misc)$"),
+        ("Pair-list prune", r"^prune"),
+        ("Clear buffers", r"^clear_bufs$"),
+        ("Nonbonded (local)", r"^local_nb$"),
+        ("Nonbonded (non-local)", r"^nonlocal:nb$"),
+        ("Bonded", r"^(nonlocal:)?bonded$"),
+        ("PME", r"^pme:"),
+        ("Comm. coord. halo", r"^nonlocal:(xpack|xfer)"),
+        ("Comm. force halo", r"^nonlocal:(fxfer|facc|funpack)"),
+        ("MPI / sync (CPU)", r"^(wait_|mpi_post_|resync)"),
+        ("Launch API (CPU)", r"^launch_"),
+        ("Host other", r""),
+    )
+)
+
+_IDLE = len(PHASES)
+IDLE_LABEL = "Idle / exposed gaps"
+
+
+def classify(task: Task) -> int:
+    """Phase index of a task (step prefix stripped first)."""
+    base = _STEP_PREFIX.sub("", task.name)
+    for i, (_, pat) in enumerate(PHASES):
+        if pat.search(base):
+            return i
+    return len(PHASES) - 1  # "Host other" has an empty pattern; unreachable
+
+
+def step_window(graph: TaskGraph, time_per_step: float) -> tuple[float, float]:
+    """The steady-state window: the last ``time_per_step`` of the schedule."""
+    end = graph.makespan()
+    return (max(0.0, end - time_per_step), end)
+
+
+def cycle_accounting(
+    graph: TaskGraph, window: tuple[float, float] | None = None
+) -> Table:
+    """Partition a schedule window into per-activity wall time.
+
+    Returns a table with one row per active phase plus an idle row and a
+    ``Total`` row; ``wall_us`` over the phase rows sums to the window
+    length exactly.
+    """
+    graph.evaluate()
+    if window is None:
+        window = (0.0, graph.makespan())
+    t0, t1 = window
+    total = max(0.0, t1 - t0)
+
+    clipped: list[tuple[int, float, float]] = []
+    counts = [0] * (_IDLE + 1)
+    for t in graph.tasks.values():
+        s, e = max(t.start, t0), min(t.end, t1)
+        if e <= s:
+            continue
+        ph = classify(t)
+        clipped.append((ph, s, e))
+        counts[ph] += 1
+
+    bounds = sorted({t0, t1} | {s for _, s, _ in clipped} | {e for _, _, e in clipped})
+    wall = [0.0] * (_IDLE + 1)
+    for a, b in zip(bounds, bounds[1:]):
+        owner = _IDLE
+        for ph, s, e in clipped:
+            if s <= a and e >= b and ph < owner:
+                owner = ph
+        wall[owner] += b - a
+
+    tbl = Table(
+        columns=("activity", "tasks", "wall_us", "pct"),
+        title="cycle accounting",
+    )
+    for i, (label, _) in enumerate(PHASES):
+        if counts[i] or wall[i] > 0.0:
+            tbl.add_row(label, counts[i], wall[i], 100.0 * wall[i] / total if total else 0.0)
+    if wall[_IDLE] > 0.0:
+        tbl.add_row(IDLE_LABEL, "", wall[_IDLE], 100.0 * wall[_IDLE] / total if total else 0.0)
+    tbl.add_row("Total", "", total, 100.0)
+    return tbl
+
+
+def render_cycle_table(tbl: Table, heading: str | None = None) -> str:
+    """GROMACS-flavoured rendering of a :func:`cycle_accounting` table."""
+    out = [
+        "     R E A L   C Y C L E   A N D   T I M E   A C C O U N T I N G",
+        "",
+    ]
+    if heading:
+        out.append(f" {heading}")
+        out.append("")
+    rows = tbl.rows
+    width = max([len("Activity")] + [len(str(r[0])) for r in rows]) + 2
+    rule = "-" * (width + 34)
+    out.append(f" {'Activity'.ljust(width)}{'Tasks':>7}{'Wall t (us)':>15}{'%':>10}")
+    out.append(rule)
+    for activity, tasks, wall_us, pct in rows:
+        if activity == "Total":
+            out.append(rule)
+        out.append(
+            f" {str(activity).ljust(width)}{str(tasks):>7}{wall_us:>15.1f}{pct:>10.1f}"
+        )
+    out.append(rule)
+    return "\n".join(out)
+
+
+def metrics_table(
+    registry: MetricsRegistry = METRICS, prefix: str = "", title: str = "run metrics"
+) -> Table:
+    """The registry's instruments as one harness table."""
+    return registry.to_table(prefix=prefix, title=title)
+
+
+def mdlog_extra(registry: MetricsRegistry = METRICS, prefix: str = "") -> dict:
+    """Flatten the registry for ``write_log(extra=...)`` footers."""
+    out: dict[str, object] = {}
+    for name, labels, m in registry.collect(prefix):
+        key = f"{name}{{{format_labels(labels)}}}" if labels else name
+        if isinstance(m, Histogram):
+            s = m.summary()
+            out[key] = (
+                f"count={s['count']}"
+                + (f" p50={s['p50']:g} p95={s['p95']:g} max={s['max']:g}" if s["count"] else "")
+            )
+        else:
+            out[key] = m.value
+    return out

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -50,3 +52,55 @@ class TestCli:
         main(["critical", "45k", "--gpus", "4", "--backend", "mpi"])
         out = capsys.readouterr().out
         assert "critical path" in out and "breakdown" in out
+
+    def test_profile_cycle_table_and_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        main(["profile", "--system", "grappa-360k", "--ranks", "8",
+              "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "R E A L   C Y C L E" in out and "Total" in out
+        doc = json.loads(trace.read_text())
+        x = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        rows = {e["tid"] for e in doc["traceEvents"]
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert rows and rows <= {e["tid"] for e in x}
+
+    def test_profile_grappa_prefix_equivalent(self, capsys):
+        main(["profile", "--system", "360k", "--ranks", "8"])
+        plain = capsys.readouterr().out
+        main(["profile", "--system", "grappa-360k", "--ranks", "8"])
+        assert capsys.readouterr().out == plain
+
+    def test_compare_trace_export(self, capsys, tmp_path):
+        trace = tmp_path / "cmp.json"
+        main(["compare", "45k", "--gpus", "4", "--trace", str(trace)])
+        doc = json.loads(trace.read_text())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert {"mpi schedule", "nvshmem schedule"} <= names
+
+    def test_verify_trace_records_spans(self, capsys, tmp_path):
+        trace = tmp_path / "spans.json"
+        main(["verify", "--atoms", "1400", "--ranks", "2", "--steps", "4",
+              "--seed", "11", "--trace", str(trace)])
+        assert "OK" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert "dd.step" in names and "comm.nvshmem.halo_x" in names
+
+    def test_figures_check_passes_on_committed_results(self, capsys):
+        main(["figures", "--check"])
+        assert "OK" in capsys.readouterr().out
+
+    def test_figures_check_fails_on_drift(self, tmp_path, capsys):
+        import shutil
+        for csv in ("fig3.csv", "fig4.csv"):
+            shutil.copy(f"results/{csv}", tmp_path / csv)
+        (tmp_path / "fig3.csv").write_text("gpus,bogus\n1,2\n")
+        with pytest.raises(SystemExit, match="drift"):
+            main(["figures", "--check", "--out", str(tmp_path)])
+        assert "DRIFT" in capsys.readouterr().err
+
+    def test_quiet_silences_info(self, capsys):
+        main(["-q", "compare", "45k", "--gpus", "4"])
+        assert capsys.readouterr().out == ""

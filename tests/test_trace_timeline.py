@@ -61,6 +61,23 @@ class TestExtractTimings:
         with pytest.raises(KeyError, match="nonlocal"):
             extract_timings(g)
 
+    def test_nonlocal_without_device_tasks_raises(self):
+        # Non-local tasks exist but are all CPU-side: the device span is
+        # undefined and must fail loudly, not silently return garbage.
+        g = TaskGraph()
+        g.add("local_nb", "gpu.local", 20.0)
+        g.add("nonlocal:launch", "cpu", 2.0, kind="launch")
+        g.add("nonlocal:cpu_wait", "cpu", 5.0, kind="sync")
+        with pytest.raises(ValueError, match="no device tasks"):
+            extract_timings(g)
+
+    def test_nonlocal_device_error_names_the_cpu_kinds(self):
+        g = TaskGraph()
+        g.add("s2:local_nb", "gpu.local", 20.0)
+        g.add("s2:nonlocal:launch", "cpu", 2.0, kind="launch")
+        with pytest.raises(ValueError, match="launch"):
+            extract_timings(g, prefix="s2:")
+
     def test_as_dict(self):
         d = extract_timings(_toy_schedule()).as_dict()
         assert set(d) == {
