@@ -1,0 +1,139 @@
+"""End-to-end MD-step throughput across rank executors.
+
+Times real :class:`repro.dd.engine.DDSimulator` steps (halo exchange +
+non-bonded forces + integration) under each registered executor and
+reports per-executor ms/step plus speedup over the ``serial`` reference.
+On a multi-core host the ``process`` executor should show the benefit of
+true-parallel rank execution; on a single core it degenerates to serial
+throughput plus IPC overhead, which the report makes visible rather than
+hiding.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_step.py                 # grappa-45k, 8 ranks
+    PYTHONPATH=src python benchmarks/bench_step.py --system 3000 \
+        --ranks 4 --steps 5 --out BENCH_step.json                  # CI smoke run
+
+Writes a JSON report (default ``BENCH_step.json``) with the machine
+context, per-executor timings, and speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.dd import DDSimulator
+from repro.md import default_forcefield, make_grappa_system
+from repro.md.grappa import GRAPPA_SIZES
+
+
+def resolve_atoms(system: str) -> int:
+    label = system[len("grappa-"):] if system.startswith("grappa-") else system
+    if label in GRAPPA_SIZES:
+        return GRAPPA_SIZES[label]
+    try:
+        return int(label)
+    except ValueError:
+        raise SystemExit(
+            f"unknown system '{system}': use an atom count or one of "
+            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
+        ) from None
+
+
+def bench_executor(
+    executor: str, n_atoms: int, ranks: int, steps: int, *,
+    backend: str, seed: int, nstlist: int,
+) -> dict:
+    """Steady-state ms/step for one executor (first step excluded)."""
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
+    with DDSimulator(
+        system, ff, n_ranks=ranks, backend=backend, executor=executor,
+        nstlist=nstlist, buffer=0.12,
+    ) as sim:
+        sim.step()  # warm-up: first neighbour search + pool spin-up
+        t0 = time.perf_counter()
+        sim.run(steps)
+        elapsed = time.perf_counter() - t0
+        checksum = float(np.sum(sim.system.positions))
+    ms = elapsed * 1e3 / steps
+    return {
+        "executor": executor,
+        "ms_per_step": ms,
+        "steps_per_s": 1e3 / ms,
+        "measured_steps": steps,
+        "checksum": checksum,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--system", default="45k",
+                        help="atom count or grappa label (default: 45k)")
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=10,
+                        help="timed steps per executor (after 1 warm-up step)")
+    parser.add_argument("--nstlist", type=int, default=10)
+    parser.add_argument("--backend", default="reference",
+                        choices=("reference", "mpi", "threadmpi", "nvshmem"))
+    parser.add_argument("--executors", nargs="+",
+                        default=["serial", "thread", "process"])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_step.json")
+    args = parser.parse_args(argv)
+
+    n_atoms = resolve_atoms(args.system)
+    print(
+        f"bench_step: {n_atoms} atoms, {args.ranks} ranks, backend "
+        f"{args.backend}, {args.steps} steps/executor, "
+        f"{os.cpu_count()} cpus"
+    )
+    results = []
+    for executor in args.executors:
+        r = bench_executor(
+            executor, n_atoms, args.ranks, args.steps,
+            backend=args.backend, seed=args.seed, nstlist=args.nstlist,
+        )
+        results.append(r)
+        print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step")
+
+    by_name = {r["executor"]: r for r in results}
+    serial = by_name.get("serial")
+    if serial is not None:
+        checksums = {r["checksum"] for r in results}
+        if len(checksums) != 1:
+            raise SystemExit("FAILED: executors disagree on final positions")
+        for r in results:
+            r["speedup_vs_serial"] = serial["ms_per_step"] / r["ms_per_step"]
+        for r in results:
+            if r is not serial:
+                print(f"  {r['executor']} speedup vs serial: "
+                      f"{r['speedup_vs_serial']:.2f}x")
+
+    report = {
+        "bench": "step_throughput",
+        "system": args.system,
+        "n_atoms": n_atoms,
+        "ranks": args.ranks,
+        "backend": args.backend,
+        "steps": args.steps,
+        "nstlist": args.nstlist,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

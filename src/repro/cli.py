@@ -16,6 +16,14 @@ one pid per rank and one tid per resource row; functional runs export the
 wall-clock spans recorded by :mod:`repro.obs.tracer`.  Open the file in
 ``chrome://tracing`` or https://ui.perfetto.dev.
 
+``--executor {serial,thread,process}`` (on ``compare``, ``scaling``,
+``profile``, ``verify``) selects the :mod:`repro.par` rank executor for
+functional runs: ``serial`` in-process reference, ``thread`` pool over
+GIL-releasing kernels, ``process`` persistent worker pool over shared
+memory (the per-GPU-rank stand-in).  ``compare``/``scaling`` take
+``--measure N`` to additionally time a real run; ``profile --functional``
+profiles a real run via recorded spans instead of the timing model.
+
 Global ``-v`` / ``--quiet`` flags control the :mod:`repro.obs.log`
 logger that all reporting goes through.
 """
@@ -48,26 +56,63 @@ def _resolve_atoms(system: str) -> int:
         ) from None
 
 
+def _functional_ms_per_step(
+    n_atoms: int, ranks: int, backend: str, executor: str, steps: int, seed: int = 7
+) -> float:
+    """Wall-clock ms/step of a real DD run with the chosen executor.
+
+    One step of warm-up (first neighbour search + worker pool spin-up)
+    before timing, so steady-state cost is what gets reported.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.dd import DDSimulator
+    from repro.md import default_forcefield, make_grappa_system
+
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
+    with DDSimulator(
+        system, ff, n_ranks=ranks, backend=backend, executor=executor,
+        nstlist=10, buffer=0.12,
+    ) as sim:
+        sim.step()
+        t0 = time.perf_counter()
+        sim.run(steps)
+        return (time.perf_counter() - t0) * 1e3 / steps
+
+
 def cmd_compare(args) -> None:
     machine = machine_by_name(args.machine)
     n_atoms = _resolve_atoms(args.system)
     wl = grappa_workload(n_atoms, args.gpus, machine)
+    columns = ["backend", "ns_per_day", "ms_per_step", "local_us", "nonlocal_us", "non_overlap_us"]
+    if args.measure:
+        columns.append("meas_ms_step")
     tbl = Table(
-        columns=("backend", "ns_per_day", "ms_per_step", "local_us", "nonlocal_us", "non_overlap_us"),
+        columns=tuple(columns),
         title=f"{args.system} on {args.gpus} GPUs ({machine.name}), grid {wl.grid}",
     )
     graphs = {}
     for backend in ("mpi", "nvshmem"):
         g, t = simulate_step(wl, machine, backend=backend)
         graphs[f"{backend} schedule"] = g
-        tbl.add_row(
+        row = [
             backend,
             ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
             t.time_per_step * 1e-3,
             t.local_work,
             t.nonlocal_work,
             t.non_overlap,
-        )
+        ]
+        if args.measure:
+            row.append(
+                _functional_ms_per_step(
+                    n_atoms, args.gpus, backend, args.executor, args.measure
+                )
+            )
+        tbl.add_row(*row)
     log.info("%s", tbl.render())
     _maybe_write_graph_trace(args, graphs)
 
@@ -75,8 +120,11 @@ def cmd_compare(args) -> None:
 def cmd_scaling(args) -> None:
     machine = machine_by_name(args.machine)
     n_atoms = _resolve_atoms(args.system)
+    columns = ["gpus", "nodes", "grid", "mpi_nsday", "nvs_nsday", "speedup", "efficiency"]
+    if args.measure:
+        columns.append("meas_ms_step")
     tbl = Table(
-        columns=("gpus", "nodes", "grid", "mpi_nsday", "nvs_nsday", "speedup", "efficiency"),
+        columns=tuple(columns),
         title=f"strong scaling: {args.system} on {machine.name}",
     )
     base = None
@@ -95,11 +143,18 @@ def cmd_scaling(args) -> None:
                 graphs[f"nvshmem {gpus} GPUs"] = g
         if base is None:
             base = (gpus, nd["nvshmem"])
-        tbl.add_row(
+        row = [
             gpus, machine.n_nodes(gpus), "x".join(map(str, wl.grid)),
             nd["mpi"], nd["nvshmem"], nd["nvshmem"] / nd["mpi"],
             nd["nvshmem"] / (base[1] * gpus / base[0]),
-        )
+        ]
+        if args.measure:
+            row.append(
+                _functional_ms_per_step(
+                    n_atoms, gpus, "nvshmem", args.executor, args.measure
+                )
+            )
+        tbl.add_row(*row)
     log.info("%s", tbl.render())
     _maybe_write_graph_trace(args, graphs)
 
@@ -141,11 +196,65 @@ def cmd_critical(args) -> None:
     log.info("%s", critical_path(g, "s3:step_end").render())
 
 
+def _cmd_profile_functional(args) -> None:
+    """Span-based accounting of a real DD run with the chosen executor."""
+    import numpy as np
+
+    from repro.dd import DDSimulator
+    from repro.md import default_forcefield, make_grappa_system
+    from repro.obs.tracer import TRACER
+
+    n_atoms = _resolve_atoms(args.system)
+    TRACER.enable()
+    TRACER.clear()
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(n_atoms, seed=7, ff=ff, dtype=np.float64)
+    with DDSimulator(
+        system, ff, n_ranks=args.ranks, backend=args.backend,
+        executor=args.executor, nstlist=10, buffer=0.12,
+    ) as sim:
+        sim.run(args.steps)
+    spans = list(TRACER.spans)
+    TRACER.disable()
+    agg: dict[str, list[float]] = {}
+    for s in spans:
+        agg.setdefault(s.name, []).append(s.dur_us)
+    tbl = Table(
+        columns=("span", "count", "total_ms", "mean_us"),
+        title=(
+            f"functional profile: {n_atoms} atoms on {args.ranks} ranks, "
+            f"backend {args.backend}, executor {args.executor}, {args.steps} steps"
+        ),
+    )
+    for name in sorted(agg, key=lambda k: -sum(agg[k])):
+        durs = agg[name]
+        tbl.add_row(name, len(durs), sum(durs) / 1e3, sum(durs) / len(durs))
+    log.info("%s", tbl.render())
+    step_total = sum(agg.get("dd.step", [0.0]))
+    log.info("wall time/step: %.1f us over %d steps", step_total / max(1, args.steps), args.steps)
+    if args.trace:
+        from repro.obs.export import write_chrome_trace
+
+        path = write_chrome_trace(
+            args.trace,
+            spans=spans,
+            metadata={
+                "system": args.system, "ranks": args.ranks,
+                "backend": args.backend, "executor": args.executor,
+                "steps": args.steps,
+            },
+        )
+        log.info("wrote Chrome trace %s (%d spans)", path, len(spans))
+
+
 def cmd_profile(args) -> None:
     """Cycle accounting + trace export for one simulated configuration."""
     from repro.obs.export import write_chrome_trace
     from repro.obs.report import cycle_accounting, render_cycle_table, step_window
 
+    if args.functional:
+        _cmd_profile_functional(args)
+        return
     machine = machine_by_name(args.machine)
     n_atoms = _resolve_atoms(args.system)
     wl = grappa_workload(n_atoms, args.ranks, machine)
@@ -227,10 +336,13 @@ def cmd_verify(args) -> None:
     serial = system.copy()
     ReferenceSimulator(serial, ff, nstlist=5, buffer=0.12).run(args.steps)
     dd = DDSimulator(
-        system, ff, n_ranks=args.ranks, nstlist=5, buffer=0.12, max_pulses=2,
+        system, ff, n_ranks=args.ranks,
         backend=NvshmemBackend(pes_per_node=max(1, args.ranks // 2), seed=args.seed),
+        executor=args.executor,
+        nstlist=5, buffer=0.12, max_pulses=2,
     )
-    dd.run(args.steps)
+    with dd:
+        dd.run(args.steps)
     dx = system.positions - serial.positions
     dx -= np.rint(dx / system.box) * system.box
     dev = float(np.abs(dx).max())
@@ -277,11 +389,25 @@ def main(argv: list[str] | None = None) -> None:
     common.add_argument("-q", "--quiet", action="store_true", default=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="cmd", required=True)
 
+    executor_flag = dict(
+        choices=("serial", "thread", "process"), default="serial",
+        help="rank executor for functional runs (see repro.par)",
+    )
+
+    def nonneg_int(value: str) -> int:
+        n = int(value)
+        if n < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return n
+
     p = sub.add_parser("compare", parents=[common], help="MPI vs NVSHMEM for one configuration")
     p.add_argument("system", nargs="?", default="45k")
     p.add_argument("--gpus", type=int, default=4)
     p.add_argument("--machine", default="dgx-h100")
     p.add_argument("--trace", default=None, help="write both schedules as Chrome-trace JSON")
+    p.add_argument("--executor", **executor_flag)
+    p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
+                   help="also run a real DD simulation per backend and report wall ms/step")
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("scaling", parents=[common], help="strong-scaling sweep")
@@ -289,6 +415,9 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--machine", default="eos")
     p.add_argument("--gpu-counts", type=int, nargs="+", default=[8, 16, 32, 64, 128])
     p.add_argument("--trace", default=None, help="write NVSHMEM schedules as Chrome-trace JSON")
+    p.add_argument("--executor", **executor_flag)
+    p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
+                   help="also run a real DD simulation per GPU count and report wall ms/step")
     p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser("timings", parents=[common], help="device-side timing breakdown")
@@ -324,6 +453,9 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--steps", type=int, default=4, help="chained steps to simulate")
     p.add_argument("--trace", default=None, help="Chrome-trace JSON output path")
     p.add_argument("--mdlog", default=None, help="also write an mdrun-style log here")
+    p.add_argument("--functional", action="store_true",
+                   help="profile a real DD run (span accounting) instead of the model")
+    p.add_argument("--executor", **executor_flag)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", parents=[common], help="regenerate all paper figures")
@@ -340,6 +472,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--trace", default=None,
                    help="record engine spans and write them as Chrome-trace JSON")
+    p.add_argument("--executor", **executor_flag)
     p.set_defaults(fn=cmd_verify)
 
     args = parser.parse_args(argv)

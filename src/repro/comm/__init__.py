@@ -1,8 +1,10 @@
 """Halo-exchange communication backends.
 
-Three interchangeable implementations of the coordinate/force halo exchange,
+Interchangeable implementations of the coordinate/force halo exchange,
 all bit-identical in results but structurally mirroring the paper:
 
+* :class:`~repro.comm.reference.ReferenceBackend` — the synchronous
+  serialized reference exchange (lock-step pulses), the engine default;
 * :class:`~repro.comm.mpi_backend.MpiBackend` — CPU-initiated, serialized
   pulses, pack / sendrecv / unpack per pulse (Fig. 1's structure);
 * :class:`~repro.comm.threadmpi_backend.ThreadMpiBackend` — event-driven
@@ -17,6 +19,7 @@ all bit-identical in results but structurally mirroring the paper:
 from repro.comm.base import HaloBackend, backend_registry, make_backend
 from repro.comm.mpi_backend import MpiBackend
 from repro.comm.nvshmem_backend import NvshmemBackend
+from repro.comm.reference import ReferenceBackend
 from repro.comm.scheduler import CooperativeScheduler, DeadlockError
 from repro.comm.threadmpi_backend import ThreadMpiBackend
 
@@ -26,6 +29,7 @@ __all__ = [
     "HaloBackend",
     "MpiBackend",
     "NvshmemBackend",
+    "ReferenceBackend",
     "ThreadMpiBackend",
     "backend_registry",
     "make_backend",

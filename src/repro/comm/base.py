@@ -17,9 +17,28 @@ class HaloBackend(ABC):
     back into its owning rank's home (or earlier-pulse halo) rows.  Results
     must be bit-identical to the serialized reference exchange up to
     floating-point accumulation order.
+
+    Backends additionally declare their array footprint so rank executors
+    (:mod:`repro.par`) know what to publish to / fetch from worker
+    processes around each exchange:
+
+    * ``mutates_coordinates`` / ``mutates_forces`` — the ``ClusterState``
+      fields each exchange writes;
+    * ``rebinds_cluster_arrays`` — ``True`` when :meth:`bind` *replaces*
+      cluster arrays with internal buffers (e.g. symmetric-heap views).
+      Executors must then mirror those arrays instead of adopting them
+      into shared memory, because the backend holds references to the
+      originals.
     """
 
     name: str = "abstract"
+
+    #: ClusterState fields written by :meth:`exchange_coordinates`.
+    mutates_coordinates: tuple[str, ...] = ("local_pos",)
+    #: ClusterState fields written by :meth:`exchange_forces`.
+    mutates_forces: tuple[str, ...] = ("local_forces",)
+    #: True when :meth:`bind` swaps cluster arrays for internal buffers.
+    rebinds_cluster_arrays: bool = False
 
     @abstractmethod
     def bind(self, cluster: ClusterState) -> None:

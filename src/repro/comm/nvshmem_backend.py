@@ -43,6 +43,11 @@ from repro.obs.tracer import TRACER
 class NvshmemBackend(HaloBackend):
     """Fused, signal-driven halo exchange (functional layer)."""
 
+    #: bind() swaps the cluster's pos/force arrays for symmetric-heap views,
+    #: so rank executors must mirror rather than adopt them (see
+    #: :class:`repro.comm.base.HaloBackend`).
+    rebinds_cluster_arrays = True
+
     def __init__(
         self,
         pes_per_node: int | None = None,

@@ -4,33 +4,44 @@ Runs the same physics as :class:`repro.md.reference.ReferenceSimulator`, but
 distributed over the ranks of a :class:`DomainDecomposition` with halo
 exchange delegated to a pluggable communication backend (reference
 serialized, MPI-style staged, or NVSHMEM-style fused — see
-:mod:`repro.comm`).  Trajectories must match the serial reference to
-floating-point accumulation order; the test suite enforces this.
+:mod:`repro.comm`) and per-rank work scheduled through a pluggable
+:class:`~repro.par.base.RankExecutor` (serial, thread pool, or true-parallel
+process pool over shared memory — see :mod:`repro.par`).  Trajectories must
+match the serial reference to floating-point accumulation order, and must be
+bit-identical across executors; the test suite enforces both.
+
+The per-rank loops of the old engine (pair search, forces, integration) now
+live in :mod:`repro.par.phases` as named phases the executor runs; the
+engine's job is sequencing phases against halo exchanges and keeping the
+parent and worker views of the cluster arrays coherent (see
+``HaloBackend.mutates_*`` and ``RankExecutor.publish``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import KW_ONLY, dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.dd.decomposition import DomainDecomposition
-from repro.dd.exchange import (
-    ClusterState,
-    build_cluster,
-    gather_forces,
-    reference_coordinate_exchange,
-    reference_force_exchange,
-)
+from repro.dd.exchange import ClusterState, build_cluster, gather_forces
 from repro.dd.grid import DDGrid, choose_grid
-from repro.md.cells import CellList
 from repro.md.forcefield import ForceField
-from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
+from repro.md.integrator import LeapFrogIntegrator
 from repro.md.nonbonded import NonbondedKernel
 from repro.md.reference import StepEnergies
 from repro.md.system import MDSystem
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
+from repro.par.phases import FIELDS, RankConfig, RankNsData
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
+    from repro.comm.base import HaloBackend
+    from repro.par.base import RankExecutor
+
+#: ClusterState field -> executor/workspace field (see repro.par.phases.FIELDS).
+_EXEC_FIELD = {f"local_{name}": name for name in FIELDS}
 
 
 @dataclass
@@ -50,30 +61,23 @@ class RankWorkload:
     pulse_send_sizes: list[int]
 
 
-class _ReferenceBackend:
-    """Default backend: the synchronous serialized reference exchange."""
-
-    name = "reference"
-
-    def bind(self, cluster: ClusterState) -> None:
-        pass
-
-    def exchange_coordinates(self, cluster: ClusterState) -> None:
-        reference_coordinate_exchange(cluster)
-
-    def exchange_forces(self, cluster: ClusterState) -> None:
-        reference_force_exchange(cluster)
-
-
 @dataclass
 class DDSimulator:
-    """Multi-rank MD driver over an in-process cluster."""
+    """Multi-rank MD driver over an in-process cluster.
+
+    ``backend`` and ``executor`` accept either instances or registry names
+    (``make_backend`` / ``make_executor`` strings such as ``"nvshmem"`` and
+    ``"process"``); the tuning knobs are keyword-only so positional misuse
+    fails loudly.
+    """
 
     system: MDSystem
     ff: ForceField
     n_ranks: int = 0
     grid: DDGrid | None = None
-    backend: object | None = None
+    backend: HaloBackend | str | None = None
+    executor: RankExecutor | str | None = None
+    _: KW_ONLY
     nstlist: int = 20
     buffer: float = 0.1
     dt: float = 0.002
@@ -89,6 +93,9 @@ class DDSimulator:
     energies: list[StepEnergies] = field(default_factory=list)
 
     def __post_init__(self) -> None:
+        from repro.comm import make_backend
+        from repro.par import make_executor
+
         r_comm = self.ff.cutoff + self.buffer
         if self.grid is None:
             if self.n_ranks < 1:
@@ -101,7 +108,10 @@ class DDSimulator:
             grid=self.grid, box=self.system.box, r_comm=r_comm,
             max_pulses=self.max_pulses,
         )
-        self.backend = self.backend or _ReferenceBackend()
+        if self.backend is None:
+            self.backend = make_backend("reference")
+        elif isinstance(self.backend, str):
+            self.backend = make_backend(self.backend)
         self._pme_session = None
         if self.coulomb == "pme":
             from repro.md.reference import _default_pme_grid
@@ -126,37 +136,87 @@ class DDSimulator:
             raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._periodic = np.array([self.grid.shape[d] == 1 for d in range(3)])
+        if self.executor is None:
+            self.executor = make_executor("serial")
+        elif isinstance(self.executor, str):
+            self.executor = make_executor(self.executor)
+        self.executor.configure(
+            RankConfig(
+                kernel=self._kernel,
+                integrator=self._integrator,
+                box=self.dd.box,
+                periodic=self._periodic,
+                r_comm=self.dd.r_comm,
+            ),
+            self.n_ranks,
+        )
         self.cluster: ClusterState | None = None
         self._pairs: list[tuple[np.ndarray, np.ndarray]] = []
         self._ns_positions: np.ndarray | None = None
         self.workloads: list[RankWorkload] = []
 
+    # -- executor coherence ---------------------------------------------------
+
+    def _bind_executor(self) -> None:
+        """Hand the fresh cluster arrays to the executor.
+
+        Runs after ``backend.bind``: a backend that rebinds cluster arrays
+        to internal buffers (``rebinds_cluster_arrays``) forces the
+        executor into mirror mode; otherwise the executor may adopt the
+        arrays into shared memory and return replacement views, which are
+        installed so parent-side exchanges mutate worker-visible memory.
+        """
+        cluster = self.cluster
+        fields = [
+            {
+                "pos": cluster.local_pos[r],
+                "vel": cluster.local_vel[r],
+                "forces": cluster.local_forces[r],
+                "types": cluster.local_types[r],
+                "charges": cluster.local_charges[r],
+                "masses": cluster.local_masses[r],
+            }
+            for r in range(self.n_ranks)
+        ]
+        ns = [
+            RankNsData(
+                rank=r,
+                n_home=rp.n_home,
+                zone_shift=rp.zone_shift,
+                bonded=self._bonded[r] if self._bonded else None,
+            )
+            for r, rp in enumerate(cluster.plan.ranks)
+        ]
+        adopt = not getattr(self.backend, "rebinds_cluster_arrays", False)
+        views = self.executor.bind(fields, ns, adopt=adopt)
+        if views is not None:
+            for r, v in enumerate(views):
+                cluster.local_pos[r] = v["pos"]
+                cluster.local_vel[r] = v["vel"]
+                cluster.local_forces[r] = v["forces"]
+                cluster.local_types[r] = v["types"]
+                cluster.local_charges[r] = v["charges"]
+                cluster.local_masses[r] = v["masses"]
+
+    def _publish(self, cluster_fields: tuple[str, ...]) -> None:
+        """Push parent-side writes of the named ClusterState fields to workers."""
+        self.executor.publish(tuple(_EXEC_FIELD[f] for f in cluster_fields))
+
     # -- neighbour search ---------------------------------------------------
 
-    def _rank_pairs(self, rank: int) -> tuple[np.ndarray, np.ndarray]:
-        """Rank-local pair search over home + halo with the zone rule."""
-        plan = self.cluster.plan.ranks[rank]
-        pos = self.cluster.local_pos[rank].astype(np.float64)
-        r_list = self.dd.r_comm
-        lo = np.where(self._periodic, 0.0, pos.min(axis=0) - 1e-9)
-        hi = np.where(self._periodic, self.dd.box, pos.max(axis=0) + 1e-9)
-        hi = np.maximum(hi, lo + r_list)
-        cells = CellList(lo=lo, hi=hi, cutoff=r_list, periodic=self._periodic)
-        i, j = cells.pairs_within(pos, r_list)
-        # Eighth-shell assignment: compute the pair here iff the elementwise
-        # minimum of the two zone shifts is zero (both atoms visible, and no
-        # other rank sees the pair with this property).
-        zs = plan.zone_shift
-        keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
-        return i[keep], j[keep]
-
     def neighbor_search(self) -> None:
-        """Full redistribution: wrap, reassign atoms, rebuild plan and lists."""
+        """Full redistribution: wrap, reassign atoms, rebuild plan and lists.
+
+        Also rebinds the halo backend and the executor to the fresh cluster
+        and runs the per-rank pair-search phase through the executor.
+        """
         self.cluster = build_cluster(
             self.system, self.dd, trim_corners=self.trim_corners
         )
-        self._pairs = [self._rank_pairs(r) for r in range(self.n_ranks)]
         self._assign_bonded()
+        self.backend.bind(self.cluster)
+        self._bind_executor()
+        self._pairs = self.executor.run("pairs")
         self._ns_positions = self.system.positions.copy()
         self.workloads = []
         for r, plan in enumerate(self.cluster.plan.ranks):
@@ -236,59 +296,23 @@ class DDSimulator:
     # -- forces ---------------------------------------------------------------
 
     def compute_forces(self) -> tuple[float, float, float]:
-        """Local + non-local forces on every rank, then the force halo.
+        """Per-rank forces through the executor, then the force halo.
 
-        Returns globally summed (E_lj, E_coulomb); each pair contributes on
-        exactly one rank, so the plain sum is the total.
+        Returns globally summed (E_lj, E_coulomb, E_bonded); each pair
+        contributes on exactly one rank, so the rank-ordered sum is the
+        total (and is identical for every executor).
         """
         cluster = self.cluster
+        with TRACER.span("dd.nonbonded", cat="force", ranks=self.n_ranks):
+            per_rank = self.executor.run("forces")
         e_lj_total = 0.0
         e_coul_total = 0.0
         e_bonded_total = 0.0
-        nb_span = TRACER.span("dd.nonbonded", cat="force", ranks=self.n_ranks)
-        nb_span.__enter__()
-        for r in range(self.n_ranks):
-            cluster.local_forces[r][:] = 0.0
-            i, j = self._pairs[r]
-            if self.topology is not None:
-                from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
-
-                bd = self._bonded[r]
-                mol = bd["mol"]
-                excl = mol[i] == mol[j]
-                _, e_corr = exclusion_correction(
-                    cluster.local_pos[r], i[excl], j[excl],
-                    cluster.local_charges[r], self.ff,
-                    coulomb=self._kernel.coulomb, ewald_beta=self._kernel.ewald_beta,
-                    box=self.dd.box, periodic=self._periodic,
-                    out_forces=cluster.local_forces[r],
-                )
-                e_coul_total += e_corr
-                i, j = i[~excl], j[~excl]
-                _, e_b = bond_forces(
-                    cluster.local_pos[r], bd["bonds"], bd["bond_r0"], bd["bond_k"],
-                    box=self.dd.box, periodic=self._periodic,
-                    out_forces=cluster.local_forces[r],
-                )
-                _, e_a = angle_forces(
-                    cluster.local_pos[r], bd["angles"], bd["angle_theta0"], bd["angle_k"],
-                    box=self.dd.box, periodic=self._periodic,
-                    out_forces=cluster.local_forces[r],
-                )
-                e_bonded_total += e_b + e_a
-            _, e_lj, e_coul = self._kernel.compute(
-                cluster.local_pos[r],
-                i,
-                j,
-                cluster.local_types[r],
-                cluster.local_charges[r],
-                box=self.dd.box,
-                periodic=self._periodic,
-                out_forces=cluster.local_forces[r],
-            )
+        for e_lj, e_corr, e_coul, e_bonded in per_rank:
+            e_coul_total += e_corr
+            e_bonded_total += e_bonded
             e_lj_total += e_lj
             e_coul_total += e_coul
-        nb_span.__exit__(None, None, None)
         with TRACER.span("dd.halo_f", cat="comm", backend=getattr(self.backend, "name", "?")):
             self.backend.exchange_forces(cluster)
         if self._pme_session is not None:
@@ -307,6 +331,7 @@ class DDSimulator:
                         cluster.local_forces[rp.rank].dtype
                     )
                 e_coul_total += e_rec
+        self._publish(self.backend.mutates_forces)
         return e_lj_total, e_coul_total, e_bonded_total
 
     def gathered_forces(self) -> np.ndarray:
@@ -320,11 +345,11 @@ class DDSimulator:
         if self._needs_ns():
             with TRACER.span("dd.ns", cat="dd", step=self.step_count):
                 self.neighbor_search()
-                self.backend.bind(self.cluster)
         with TRACER.span(
             "dd.halo_x", cat="comm", backend=getattr(self.backend, "name", "?")
         ):
             self.backend.exchange_coordinates(self.cluster)
+        self._publish(self.backend.mutates_coordinates)
 
     def step(self) -> StepEnergies:
         """One complete MD step across all ranks."""
@@ -334,21 +359,14 @@ class DDSimulator:
             cluster = self.cluster
             kin = 0.0
             with TRACER.span("dd.integrate", cat="update"):
+                kins = self.executor.run("integrate")
                 for r, plan in enumerate(cluster.plan.ranks):
                     nh = plan.n_home
-                    x, v = self._integrator.step(
-                        cluster.local_pos[r][:nh],
-                        cluster.local_vel[r],
-                        cluster.local_forces[r][:nh],
-                        cluster.local_masses[r],
-                    )
-                    cluster.local_pos[r][:nh] = x
-                    cluster.local_vel[r] = v
                     home_ids = plan.global_ids[:nh]
-                    self.system.positions[home_ids] = x
-                    self.system.velocities[home_ids] = v
+                    self.system.positions[home_ids] = cluster.local_pos[r][:nh]
+                    self.system.velocities[home_ids] = cluster.local_vel[r]
                     self.system.forces[home_ids] = cluster.local_forces[r][:nh]
-                    kin += kinetic_energy(v, cluster.local_masses[r])
+                    kin += kins[r]
         METRICS.counter("dd.steps").inc()
         rec = StepEnergies(
             step=self.step_count, lj=e_lj, coulomb=e_coul, kinetic=kin, bonded=e_bonded
@@ -361,3 +379,18 @@ class DDSimulator:
         if n_steps < 0:
             raise ValueError("n_steps must be non-negative")
         return [self.step() for _ in range(n_steps)]
+
+    # -- teardown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, shared memory)."""
+        executor = getattr(self, "executor", None)
+        if executor is not None and not isinstance(executor, str):
+            executor.close()
+
+    def __enter__(self) -> "DDSimulator":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

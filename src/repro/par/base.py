@@ -1,0 +1,186 @@
+"""The rank-executor abstraction: how per-rank work gets scheduled.
+
+The DD engine expresses every per-rank loop as a named *phase* (see
+:mod:`repro.par.phases`) and delegates execution to a
+:class:`RankExecutor`.  Three registered implementations ship:
+
+* ``serial`` — ranks in order, in the calling thread.  The bit-exactness
+  reference and the default.
+* ``thread`` — a persistent thread pool; NumPy kernels release the GIL
+  for most of their work, so ranks overlap on multi-core hosts.
+* ``process`` — a persistent worker-process pool with the cluster arrays
+  in POSIX shared memory; ranks run truly concurrently and only index
+  arrays cross process boundaries.  The faithful stand-in for
+  one-GPU-per-rank execution.
+
+Executor lifecycle, as driven by the engine::
+
+    executor.configure(cfg, n_ranks)      # once per simulator
+    views = executor.bind(fields, ns, adopt=...)   # each neighbour search
+    results = executor.run("pairs")       # then "forces", "integrate", ...
+    executor.publish(("pos",))            # after parent-side mutations
+    executor.close()
+
+``bind`` may return replacement array views (the shared-memory *adopt*
+path): the engine then installs them into the ``ClusterState`` so halo
+backends in the parent process mutate the same memory the workers see.
+When a backend declares ``rebinds_cluster_arrays`` (it swapped the
+cluster arrays for internal buffers at ``bind`` time), the executor
+falls back to *mirroring*: it keeps shadow copies and the engine brackets
+parent-side work with :meth:`RankExecutor.publish` /, implicitly via
+``run``, fetches of the fields each side mutated — which is why
+:class:`repro.comm.base.HaloBackend` declares ``mutates_coordinates`` /
+``mutates_forces``.
+
+Contract: after ``run(phase)`` returns, the parent-side arrays reflect
+every field in ``PHASE_WRITES[phase]``; results are ordered by rank.
+Every ``run`` is bracketed by ``executor.dispatch`` / ``executor.barrier``
+tracer spans, so exposed serialization (time the parent spends waiting on
+stragglers) shows up directly in span-based cycle accounting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.par.phases import FIELDS, PHASE_WRITES, PHASES, RankConfig, RankNsData
+
+
+class RankExecutor(ABC):
+    """Schedules per-rank phases over the cluster's rank set."""
+
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._cfg: RankConfig | None = None
+        self.n_ranks: int = 0
+        self._bound = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def configure(self, cfg: RankConfig, n_ranks: int) -> None:
+        """Install simulator-lifetime state; called once, before bind."""
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        self._cfg = cfg
+        self.n_ranks = n_ranks
+
+    @abstractmethod
+    def bind(
+        self,
+        fields: list[dict[str, np.ndarray]],
+        ns: list[RankNsData],
+        adopt: bool = True,
+    ) -> list[dict[str, np.ndarray]] | None:
+        """(Re)attach to per-rank arrays after a neighbour search.
+
+        ``fields`` holds one dict per rank keyed by
+        :data:`repro.par.phases.FIELDS`.  A non-``None`` return is the
+        set of replacement views (same keys) the caller must install so
+        parent-side code shares memory with the workers; ``None`` means
+        the caller's arrays are used as-is (or mirrored internally when
+        ``adopt`` is false).
+        """
+
+    def close(self) -> None:
+        """Release pools/workers/shared memory.  Idempotent."""
+
+    def __enter__(self) -> "RankExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, phase: str) -> list[Any]:
+        """Run ``phase`` on every rank; results in rank order.
+
+        Dispatch (hand work to the pool) and barrier (wait for the last
+        rank) are traced separately: barrier time is the exposed
+        serialization the cycle-accounting table attributes to the
+        executor.
+        """
+        if phase not in PHASES:
+            raise KeyError(f"unknown phase '{phase}', available: {sorted(PHASES)}")
+        if not self._bound:
+            raise RuntimeError("bind() must run before executing phases")
+        with TRACER.span(
+            "executor.dispatch", cat="executor", executor=self.name, phase=phase
+        ):
+            token = self._dispatch(phase)
+        with TRACER.span(
+            "executor.barrier", cat="executor", executor=self.name, phase=phase
+        ):
+            results = self._collect(phase, token)
+        self.fetch(PHASE_WRITES[phase])
+        METRICS.counter("par.phases", executor=self.name, phase=phase).inc()
+        return results
+
+    @abstractmethod
+    def _dispatch(self, phase: str) -> Any:
+        """Start the phase on all ranks; return a completion token."""
+
+    @abstractmethod
+    def _collect(self, phase: str, token: Any) -> list[Any]:
+        """Wait for completion; return per-rank results in rank order."""
+
+    # -- parent/worker array coherence ---------------------------------------
+
+    def publish(self, names: Sequence[str]) -> None:
+        """Make parent-side writes to ``names`` visible to the workers.
+
+        No-op for same-address-space executors and for the shared-memory
+        adopt path; a real copy only when mirroring.
+        """
+
+    def fetch(self, names: Sequence[str]) -> None:
+        """Make worker-side writes to ``names`` visible to the parent."""
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    def _check_fields(self, fields: list[dict[str, np.ndarray]]) -> None:
+        if self._cfg is None:
+            raise RuntimeError("configure() must run before bind()")
+        if len(fields) != self.n_ranks:
+            raise ValueError(
+                f"bind() got {len(fields)} ranks, configured for {self.n_ranks}"
+            )
+        for per_rank in fields:
+            missing = [n for n in FIELDS if n not in per_rank]
+            if missing:
+                raise KeyError(f"bind() fields missing {missing}")
+
+
+# -- registry -----------------------------------------------------------------
+
+
+executor_registry: dict[str, Callable[..., RankExecutor]] = {}
+
+
+def register_executor(name: str) -> Callable:
+    """Class decorator adding an executor to the registry."""
+
+    def deco(cls):
+        executor_registry[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def make_executor(name: str, **kwargs) -> RankExecutor:
+    """Instantiate a registered executor by name."""
+    try:
+        factory = executor_registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor '{name}', available: {sorted(executor_registry)}"
+        ) from None
+    return factory(**kwargs)

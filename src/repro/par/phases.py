@@ -1,0 +1,190 @@
+"""Per-rank phase kernels shared by every executor.
+
+These are the bodies of the DD engine's former ``for r in range(n_ranks)``
+loops — neighbour-pair search, non-bonded/bonded force computation, and
+leap-frog integration — factored into module-level functions so the
+process executor can name them across a pickle boundary.  Every executor
+(serial, thread, process) runs exactly this code on exactly the same
+per-rank arrays, which makes cross-executor bit-identity a structural
+property of the design rather than a numerical accident: a rank's work
+involves no cross-rank reduction, so scheduling order cannot change any
+floating-point result.
+
+The data model:
+
+* :class:`RankConfig` — static for the life of a simulator (kernel,
+  integrator, box geometry).  Sent to process workers once.
+* :class:`RankNsData` — per-neighbour-search, per-rank metadata (home
+  count, zone shifts, rank-local bonded lists).  Sent at every rebind;
+  contains only index arrays and small parameter tables.
+* :class:`RankWorkspace` — the per-rank working set: views over the
+  cluster arrays (or their shared-memory twins in worker processes) plus
+  the cached pair list produced by the ``pairs`` phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
+from repro.md.cells import CellList
+from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
+from repro.md.nonbonded import NonbondedKernel
+
+#: Cluster array fields every workspace carries, in layout order.  The
+#: executor shared-memory arena and the engine's ``ClusterState`` lists
+#: (``local_<name>``) both follow this naming.
+FIELDS: tuple[str, ...] = ("pos", "vel", "forces", "types", "charges", "masses")
+
+#: Workspace fields each phase writes; after ``RankExecutor.run(phase)``
+#: returns, the parent-side arrays are guaranteed to reflect these.
+PHASE_WRITES: dict[str, tuple[str, ...]] = {
+    "pairs": (),
+    "forces": ("forces",),
+    "integrate": ("pos", "vel"),
+}
+
+
+@dataclass
+class RankConfig:
+    """Simulator-lifetime configuration shared by all ranks (picklable)."""
+
+    kernel: NonbondedKernel
+    integrator: LeapFrogIntegrator
+    box: np.ndarray
+    periodic: np.ndarray
+    r_comm: float
+
+
+@dataclass
+class RankNsData:
+    """Per-rank state rebuilt at every neighbour search (picklable).
+
+    ``bonded`` is the rank-local bonded work package (local index arrays
+    plus parameter tables) or ``None`` when the system has no topology.
+    """
+
+    rank: int
+    n_home: int
+    zone_shift: np.ndarray
+    bonded: dict | None = None
+
+
+@dataclass
+class RankWorkspace:
+    """One rank's live working set: config + NS data + array views."""
+
+    cfg: RankConfig
+    ns: RankNsData
+    pos: np.ndarray
+    vel: np.ndarray
+    forces: np.ndarray
+    types: np.ndarray
+    charges: np.ndarray
+    masses: np.ndarray
+    pairs: tuple[np.ndarray, np.ndarray] | None = field(default=None)
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in FIELDS}
+
+
+# -- phase kernels ------------------------------------------------------------
+
+
+def pair_search(ws: RankWorkspace) -> tuple[np.ndarray, np.ndarray]:
+    """Rank-local pair search over home + halo with the zone rule.
+
+    Eighth-shell assignment: a pair is computed here iff the elementwise
+    minimum of the two atoms' zone shifts is zero (both atoms visible, and
+    no other rank sees the pair with this property).  The result is cached
+    on the workspace for the ``forces`` phase, so only the index arrays
+    ever cross an executor boundary.
+    """
+    cfg = ws.cfg
+    pos = ws.pos.astype(np.float64)
+    r_list = cfg.r_comm
+    periodic = cfg.periodic
+    lo = np.where(periodic, 0.0, pos.min(axis=0) - 1e-9)
+    hi = np.where(periodic, cfg.box, pos.max(axis=0) + 1e-9)
+    hi = np.maximum(hi, lo + r_list)
+    cells = CellList(lo=lo, hi=hi, cutoff=r_list, periodic=periodic)
+    i, j = cells.pairs_within(pos, r_list)
+    zs = ws.ns.zone_shift
+    keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
+    ws.pairs = (i[keep], j[keep])
+    return ws.pairs
+
+
+def compute_forces(ws: RankWorkspace) -> tuple[float, float, float, float]:
+    """Local + non-local forces for one rank.
+
+    Returns ``(e_lj, e_coul_correction, e_coul_pair, e_bonded)`` — the
+    Coulomb exclusion correction is reported separately so the engine can
+    reproduce the serial accumulation order exactly when summing ranks.
+    """
+    if ws.pairs is None:
+        raise RuntimeError("run the 'pairs' phase before 'forces'")
+    cfg = ws.cfg
+    ws.forces[:] = 0.0
+    i, j = ws.pairs
+    e_corr = 0.0
+    e_bonded = 0.0
+    if ws.ns.bonded is not None:
+        bd = ws.ns.bonded
+        mol = bd["mol"]
+        excl = mol[i] == mol[j]
+        _, e_corr = exclusion_correction(
+            ws.pos, i[excl], j[excl],
+            ws.charges, cfg.kernel.ff,
+            coulomb=cfg.kernel.coulomb, ewald_beta=cfg.kernel.ewald_beta,
+            box=cfg.box, periodic=cfg.periodic,
+            out_forces=ws.forces,
+        )
+        i, j = i[~excl], j[~excl]
+        _, e_b = bond_forces(
+            ws.pos, bd["bonds"], bd["bond_r0"], bd["bond_k"],
+            box=cfg.box, periodic=cfg.periodic,
+            out_forces=ws.forces,
+        )
+        _, e_a = angle_forces(
+            ws.pos, bd["angles"], bd["angle_theta0"], bd["angle_k"],
+            box=cfg.box, periodic=cfg.periodic,
+            out_forces=ws.forces,
+        )
+        e_bonded = e_b + e_a
+    _, e_lj, e_coul = cfg.kernel.compute(
+        ws.pos,
+        i,
+        j,
+        ws.types,
+        ws.charges,
+        box=cfg.box,
+        periodic=cfg.periodic,
+        out_forces=ws.forces,
+    )
+    return e_lj, e_corr, e_coul, e_bonded
+
+
+def integrate(ws: RankWorkspace) -> float:
+    """Leap-frog step for one rank's home atoms; returns kinetic energy.
+
+    Positions and velocities are written back *in place* so the updates
+    land in the shared arrays regardless of which process ran the phase.
+    """
+    nh = ws.ns.n_home
+    x, v = ws.cfg.integrator.step(
+        ws.pos[:nh], ws.vel, ws.forces[:nh], ws.masses
+    )
+    ws.pos[:nh] = x
+    ws.vel[:] = v
+    return kinetic_energy(v, ws.masses)
+
+
+#: Phase registry: the names executors accept in ``run``.
+PHASES: dict[str, "callable"] = {
+    "pairs": pair_search,
+    "forces": compute_forces,
+    "integrate": integrate,
+}

@@ -1,0 +1,353 @@
+"""Process-pool executor: true parallelism over shared-memory cluster arrays.
+
+The faithful stand-in for GROMACS' one-GPU-per-rank execution: every rank's
+pair search, force computation, and integration runs in a persistent worker
+process with no GIL in common, while the per-rank coordinate/velocity/force
+arrays live in one POSIX shared-memory arena mapped by the parent and every
+worker.  Per phase, only the phase name and rank ids cross the pipe; per
+neighbour search, only index arrays and small parameter tables do.  Array
+data never transits a pickle boundary.
+
+Two coherence modes, chosen by the engine per ``bind``:
+
+* **adopt** (default) — ``bind`` copies the fresh cluster arrays into the
+  arena once and returns the arena views; the engine installs them into
+  the ``ClusterState``, so parent-side halo backends mutate exactly the
+  memory the workers compute on.  ``publish``/``fetch`` are no-ops.
+* **mirror** — used when the halo backend declares
+  ``rebinds_cluster_arrays`` (it swapped the cluster arrays for internal
+  buffers, e.g. the NVSHMEM symmetric heap).  The arena then shadows the
+  cluster arrays: ``publish`` memcpys parent -> arena after parent-side
+  mutations (the fields the backend's ``mutates_*`` declarations name),
+  ``fetch`` memcpys arena -> parent after worker phases.  Copies, but
+  still zero pickling.
+
+The arena is grow-only (25% slack) so steady-state neighbour-search
+rebuilds reuse the same mapping; workers re-attach only when the segment
+is actually replaced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.par.base import RankExecutor, register_executor
+from repro.par.phases import FIELDS, PHASES, RankNsData, RankWorkspace
+
+_ALIGN = 64
+
+
+def _layout(
+    fields: list[dict[str, np.ndarray]]
+) -> tuple[list[dict[str, tuple[int, tuple, str]]], int]:
+    """Aligned (offset, shape, dtype) arena layout for all per-rank arrays."""
+    specs: list[dict[str, tuple[int, tuple, str]]] = []
+    off = 0
+    for per_rank in fields:
+        spec = {}
+        for name in FIELDS:
+            arr = per_rank[name]
+            off = (off + _ALIGN - 1) // _ALIGN * _ALIGN
+            spec[name] = (off, arr.shape, arr.dtype.str)
+            off += arr.nbytes
+        specs.append(spec)
+    return specs, max(off, _ALIGN)
+
+
+def _views(buf, specs, ranks=None) -> dict[int, dict[str, np.ndarray]]:
+    """NumPy views into an arena buffer for the given ranks (all if None)."""
+    out: dict[int, dict[str, np.ndarray]] = {}
+    for rank, spec in enumerate(specs):
+        if ranks is not None and rank not in ranks:
+            continue
+        out[rank] = {
+            name: np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=off)
+            for name, (off, shape, dtype) in spec.items()
+        }
+    return out
+
+
+def _worker_loop(conn) -> None:
+    """Persistent worker: attach arena, build workspaces, run phases."""
+    shm: shared_memory.SharedMemory | None = None
+    shm_name: str | None = None
+    cfg = None
+    workspaces: dict[int, RankWorkspace] = {}
+    try:
+        while True:
+            msg = conn.recv()
+            op = msg[0]
+            try:
+                if op == "cfg":
+                    cfg = msg[1]
+                    conn.send(("ok", None))
+                elif op == "bind":
+                    _, name, specs, my_ranks, ns_list = msg
+                    if shm is None or name != shm_name:
+                        workspaces = {}
+                        if shm is not None:
+                            shm.close()
+                        # Attaching re-registers the name with the (shared,
+                        # inherited) resource tracker; the set-based cache
+                        # collapses the duplicate, and only the parent's
+                        # unlink must unregister — so no untracking here.
+                        shm = shared_memory.SharedMemory(name=name)
+                        shm_name = name
+                    views = _views(shm.buf, specs, ranks=set(my_ranks))
+                    workspaces = {
+                        rank: RankWorkspace(cfg=cfg, ns=ns, **views[rank])
+                        for rank, ns in zip(my_ranks, ns_list)
+                    }
+                    conn.send(("ok", None))
+                elif op == "run":
+                    _, phase, ranks = msg
+                    fn = PHASES[phase]
+                    out = []
+                    for rank in ranks:
+                        t0 = time.perf_counter_ns()
+                        result = fn(workspaces[rank])
+                        out.append(
+                            (rank, result, (time.perf_counter_ns() - t0) / 1000.0)
+                        )
+                    conn.send(("ok", out))
+                elif op == "close":
+                    conn.send(("ok", None))
+                    return
+                else:
+                    conn.send(("err", f"unknown op {op!r}"))
+            except Exception as err:
+                import traceback
+
+                conn.send(("err", f"{type(err).__name__}: {err}\n{traceback.format_exc()}"))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        if shm is not None:
+            workspaces.clear()
+            try:
+                shm.close()
+            except BufferError:
+                pass
+
+
+def _terminate(conns, procs, shm_box) -> None:
+    """Finalizer: best-effort worker shutdown and arena unlink."""
+    for conn in conns:
+        try:
+            conn.send(("close",))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.terminate()
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for shm in shm_box:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            # Someone else unlinked first; still drop our tracker entry.
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        except Exception:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            pass  # live views remain; the mapping dies with the process
+    shm_box.clear()
+
+
+@register_executor("process")
+class ProcessExecutor(RankExecutor):
+    """Persistent worker-process pool over a shared-memory arena."""
+
+    def __init__(
+        self, max_workers: int | None = None, start_method: str | None = None
+    ) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        if start_method is None:
+            start_method = (
+                "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            )
+        self._ctx = mp.get_context(start_method)
+        self._procs: list = []
+        self._conns: list = []
+        self._ranks_of: list[list[int]] = []
+        self._shm_box: list[shared_memory.SharedMemory] = []
+        self._capacity = 0
+        self._specs: list[dict] = []
+        self._arena: dict[int, dict[str, np.ndarray]] = {}
+        self._src: list[dict[str, np.ndarray]] = []
+        self.adopted = False
+        self._cfg_sent = False
+        self._finalizer = None
+
+    # -- pool management -------------------------------------------------------
+
+    @property
+    def _shm(self) -> shared_memory.SharedMemory | None:
+        return self._shm_box[0] if self._shm_box else None
+
+    def _ensure_workers(self) -> None:
+        if self._procs:
+            return
+        n = self.max_workers or min(self.n_ranks, os.cpu_count() or 1)
+        n = max(1, min(n, self.n_ranks))
+        # Start the resource tracker *before* forking so workers inherit its
+        # pipe; otherwise each worker's first shm attach spawns a private
+        # tracker that unlinks the arena out from under the parent at exit.
+        resource_tracker.ensure_running()
+        for w in range(n):
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_worker_loop,
+                args=(child_conn,),
+                daemon=True,
+                name=f"repro-par-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._ranks_of = [list(range(w, self.n_ranks, n)) for w in range(n)]
+        self._finalizer = weakref.finalize(
+            self, _terminate, list(self._conns), list(self._procs), self._shm_box
+        )
+
+    def _request(self, worker: int, msg: tuple) -> None:
+        self._conns[worker].send(msg)
+
+    def _reply(self, worker: int) -> Any:
+        status, payload = self._conns[worker].recv()
+        if status != "ok":
+            raise RuntimeError(
+                f"process-executor worker {worker} failed: {payload}"
+            )
+        return payload
+
+    def _broadcast(self, msg: tuple) -> None:
+        for w in range(len(self._conns)):
+            self._request(w, msg)
+        for w in range(len(self._conns)):
+            self._reply(w)
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(
+        self,
+        fields: list[dict[str, np.ndarray]],
+        ns: list[RankNsData],
+        adopt: bool = True,
+    ) -> list[dict[str, np.ndarray]] | None:
+        self._check_fields(fields)
+        self._ensure_workers()
+        if not self._cfg_sent:
+            self._broadcast(("cfg", self._cfg))
+            self._cfg_sent = True
+
+        specs, nbytes = _layout(fields)
+        if self._shm is None or nbytes > self._capacity:
+            old = self._shm
+            self._shm_box.clear()
+            if old is not None:
+                old.unlink()
+                try:
+                    old.close()
+                except BufferError:
+                    pass  # stale cluster views; the segment is already unlinked
+            size = int(nbytes * 1.25)
+            self._shm_box.append(
+                shared_memory.SharedMemory(create=True, size=size)
+            )
+            self._capacity = size
+        self._specs = specs
+        self._arena = _views(self._shm.buf, specs)
+        for rank, per_rank in enumerate(fields):
+            for name in FIELDS:
+                self._arena[rank][name][...] = per_rank[name]
+
+        self.adopted = bool(adopt)
+        self._src = (
+            [self._arena[r] for r in range(self.n_ranks)] if adopt else fields
+        )
+
+        for w, my_ranks in enumerate(self._ranks_of):
+            self._request(
+                w, ("bind", self._shm.name, specs, my_ranks, [ns[r] for r in my_ranks])
+            )
+        for w in range(len(self._conns)):
+            self._reply(w)
+        self._bound = True
+        if adopt:
+            return [self._arena[r] for r in range(self.n_ranks)]
+        return None
+
+    # -- execution -------------------------------------------------------------
+
+    def _dispatch(self, phase: str) -> Any:
+        for w, my_ranks in enumerate(self._ranks_of):
+            self._request(w, ("run", phase, my_ranks))
+        return None
+
+    def _collect(self, phase: str, token: Any) -> list[Any]:
+        results: list[Any] = [None] * self.n_ranks
+        hist = METRICS.histogram("par.rank_us", executor=self.name, phase=phase)
+        for w in range(len(self._conns)):
+            for rank, result, dur_us in self._reply(w):
+                results[rank] = result
+                hist.observe(dur_us)
+        return results
+
+    # -- coherence -------------------------------------------------------------
+
+    def publish(self, names: Sequence[str]) -> None:
+        if self.adopted or not names:
+            return
+        with TRACER.span("executor.publish", cat="executor", fields=list(names)):
+            for rank in range(self.n_ranks):
+                for name in names:
+                    self._arena[rank][name][...] = self._src[rank][name]
+
+    def fetch(self, names: Sequence[str]) -> None:
+        if self.adopted or not names:
+            return
+        with TRACER.span("executor.fetch", cat="executor", fields=list(names)):
+            for rank in range(self.n_ranks):
+                for name in names:
+                    self._src[rank][name][...] = self._arena[rank][name]
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._finalizer is not None and self._finalizer.alive:
+            self._arena = {}
+            self._src = []
+            self._finalizer()
+        self._procs = []
+        self._conns = []
+        self._cfg_sent = False
+        self._capacity = 0
+        self._bound = False
+
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
+        try:
+            self.close()
+        except Exception:
+            pass

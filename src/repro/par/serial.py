@@ -1,0 +1,48 @@
+"""Serial executor: today's behaviour, the bit-exactness reference."""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.par.base import RankExecutor, register_executor
+from repro.par.phases import PHASES, RankNsData, RankWorkspace
+
+
+@register_executor("serial")
+class SerialExecutor(RankExecutor):
+    """Runs every rank's phase in order in the calling thread."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._ws: list[RankWorkspace] = []
+
+    def bind(
+        self,
+        fields: list[dict[str, np.ndarray]],
+        ns: list[RankNsData],
+        adopt: bool = True,
+    ) -> None:
+        self._check_fields(fields)
+        self._ws = [
+            RankWorkspace(cfg=self._cfg, ns=ns[r], **fields[r])
+            for r in range(self.n_ranks)
+        ]
+        self._bound = True
+        return None
+
+    def _dispatch(self, phase: str) -> Any:
+        return None
+
+    def _collect(self, phase: str, token: Any) -> list[Any]:
+        fn = PHASES[phase]
+        hist = METRICS.histogram("par.rank_us", executor=self.name, phase=phase)
+        out = []
+        for ws in self._ws:
+            t0 = time.perf_counter_ns()
+            out.append(fn(ws))
+            hist.observe((time.perf_counter_ns() - t0) / 1000.0)
+        return out

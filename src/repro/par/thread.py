@@ -1,0 +1,78 @@
+"""Thread-pool executor: rank overlap over the GIL-releasing NumPy kernels.
+
+Each rank's workspace is private, so concurrent phases never share a
+mutable array; the only synchronization is the implicit barrier when the
+parent collects results.  NumPy's inner loops (einsum, take, add.at,
+ufuncs) drop the GIL for the bulk of their runtime, so on a multi-core
+host ranks genuinely overlap — without the serialization the old
+``for r in range(n_ranks)`` loops imposed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import TRACER
+from repro.par.base import RankExecutor, register_executor
+from repro.par.phases import PHASES, RankNsData, RankWorkspace
+
+
+@register_executor("thread")
+class ThreadExecutor(RankExecutor):
+    """Persistent thread pool, one task per rank per phase."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._ws: list[RankWorkspace] = []
+
+    def bind(
+        self,
+        fields: list[dict[str, np.ndarray]],
+        ns: list[RankNsData],
+        adopt: bool = True,
+    ) -> None:
+        self._check_fields(fields)
+        self._ws = [
+            RankWorkspace(cfg=self._cfg, ns=ns[r], **fields[r])
+            for r in range(self.n_ranks)
+        ]
+        if self._pool is None:
+            workers = self.max_workers or min(self.n_ranks, os.cpu_count() or 1)
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, workers), thread_name_prefix="repro-par"
+            )
+        self._bound = True
+        return None
+
+    def _run_rank(self, phase: str, rank: int) -> Any:
+        fn = PHASES[phase]
+        with TRACER.span("executor.rank", cat="executor", phase=phase, rank=rank):
+            t0 = time.perf_counter_ns()
+            result = fn(self._ws[rank])
+            METRICS.histogram("par.rank_us", executor=self.name, phase=phase).observe(
+                (time.perf_counter_ns() - t0) / 1000.0
+            )
+        return result
+
+    def _dispatch(self, phase: str) -> list[Future]:
+        return [
+            self._pool.submit(self._run_rank, phase, rank)
+            for rank in range(self.n_ranks)
+        ]
+
+    def _collect(self, phase: str, token: list[Future]) -> list[Any]:
+        return [f.result() for f in token]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._bound = False

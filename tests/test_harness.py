@@ -30,6 +30,12 @@ class TestRunner:
         assert (tmp_path / "abl-vol.csv").exists()
         assert tbl.rows
 
+    def test_run_creates_missing_out_dir(self, tmp_path):
+        nested = tmp_path / "does" / "not" / "exist"
+        tbl = run_experiment("abl-vol", out_dir=nested)
+        assert (nested / "abl-vol.csv").exists()
+        assert tbl.rows
+
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             run_experiment("fig99")

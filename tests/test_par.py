@@ -1,0 +1,234 @@
+"""Rank-executor tests: serial / thread / process must be bit-identical.
+
+The executor layer (:mod:`repro.par`) schedules per-rank pair search,
+force computation, and integration.  Because every executor runs the same
+phase functions on the same per-rank data with no cross-rank reductions,
+trajectories and energies must match bit-for-bit — these tests enforce
+that across the whole lifecycle: mid-run neighbour-search rebuilds, PME
+runs, and the mirror coherence mode forced by array-rebinding backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import NvshmemBackend, backend_registry, make_backend
+from repro.dd import DDSimulator
+from repro.md import make_grappa_system
+from repro.par import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    executor_registry,
+    make_executor,
+)
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+def _run(system, ff, executor, *, n_ranks=4, steps=8, nstlist=3, **kwargs):
+    """Run a DD trajectory, returning final state + per-step energies."""
+    sim = DDSimulator(
+        system, ff, n_ranks=n_ranks, executor=executor,
+        nstlist=nstlist, buffer=0.12, **kwargs,
+    )
+    with sim:
+        energies = sim.run(steps)
+        assert sim.step_count == steps
+        return {
+            "pos": sim.system.positions.copy(),
+            "vel": sim.system.velocities.copy(),
+            "forces": sim.system.forces.copy(),
+            "energies": energies,
+        }
+
+
+class TestExecutorParity:
+    """Serial is the reference; thread and process must match it exactly."""
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_bit_identical_trajectory(self, tiny_system, ff, executor):
+        # nstlist=3 over 8 steps forces mid-run neighbour-search rebuilds,
+        # so bind/publish/fetch coherence is exercised, not just step 0.
+        ref = _run(tiny_system.copy(), ff, "serial")
+        out = _run(tiny_system.copy(), ff, executor)
+        assert np.array_equal(ref["pos"], out["pos"])
+        assert np.array_equal(ref["vel"], out["vel"])
+        assert np.array_equal(ref["forces"], out["forces"])
+        assert ref["energies"] == out["energies"]
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_bit_identical_with_pme(self, tiny_system, ff, executor):
+        ref = _run(tiny_system.copy(), ff, "serial", steps=5, nstlist=5, coulomb="pme")
+        out = _run(tiny_system.copy(), ff, executor, steps=5, nstlist=5, coulomb="pme")
+        assert np.array_equal(ref["pos"], out["pos"])
+        assert ref["energies"] == out["energies"]
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_bit_identical_mirror_mode(self, tiny_system, ff, executor):
+        # The NVSHMEM backend rebinds cluster arrays to its symmetric heap,
+        # which forces the executor into mirror (publish/fetch) coherence.
+        ref = _run(tiny_system.copy(), ff, "serial", backend="nvshmem")
+        out = _run(tiny_system.copy(), ff, executor, backend="nvshmem")
+        assert np.array_equal(ref["pos"], out["pos"])
+        assert ref["energies"] == out["energies"]
+
+    def test_rebuilds_happened(self, tiny_system, ff):
+        sim = DDSimulator(
+            tiny_system, ff, n_ranks=4, executor="process", nstlist=3, buffer=0.12
+        )
+        with sim:
+            # nstlist=3 guarantees scheduled rebuilds at steps 0, 3, 6.
+            sim.run(8)
+            assert sim.step_count == 8
+            assert len(sim.workloads) == 4
+
+    def test_executor_instance_accepted(self, tiny_system, ff):
+        ref = _run(tiny_system.copy(), ff, "serial", steps=4)
+        out = _run(tiny_system.copy(), ff, ThreadExecutor(max_workers=2), steps=4)
+        assert np.array_equal(ref["pos"], out["pos"])
+
+
+class TestCoherenceModes:
+    def test_process_adopts_with_reference_backend(self, tiny_system, ff):
+        ex = ProcessExecutor(max_workers=2)
+        sim = DDSimulator(tiny_system, ff, n_ranks=4, executor=ex, buffer=0.12)
+        with sim:
+            sim.step()
+            assert ex.adopted, "non-rebinding backend should let the arena adopt"
+            # Adopted mode installs arena views into the cluster so halo
+            # exchanges mutate worker-visible memory directly.
+            assert sim.cluster.local_pos[0].base is not None
+
+    def test_process_mirrors_with_nvshmem_backend(self, tiny_system, ff):
+        ex = ProcessExecutor(max_workers=2)
+        backend = NvshmemBackend(pes_per_node=2)
+        assert backend.rebinds_cluster_arrays
+        sim = DDSimulator(
+            tiny_system, ff, n_ranks=4, backend=backend, executor=ex, buffer=0.12
+        )
+        with sim:
+            sim.step()
+            assert not ex.adopted, "rebinding backend must force mirror mode"
+
+    def test_backend_declares_mutations(self):
+        for name, cls in backend_registry.items():
+            assert cls.mutates_coordinates, name
+            assert cls.mutates_forces, name
+
+
+class TestRegistry:
+    def test_all_executors_registered(self):
+        assert set(EXECUTORS) <= set(executor_registry)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(KeyError, match="serial"):
+            make_executor("gpu")
+
+    def test_reference_backend_registered(self):
+        assert "reference" in backend_registry
+        b = make_backend("reference")
+        assert b.name == "reference"
+        assert not b.rebinds_cluster_arrays
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="reference"):
+            make_backend("infiniband")
+
+    def test_simulator_resolves_backend_string(self, tiny_system, ff):
+        direct = _run(tiny_system.copy(), ff, "serial", steps=3)
+        named = DDSimulator(
+            tiny_system.copy(), ff, n_ranks=4, backend="reference",
+            executor="serial", nstlist=3, buffer=0.12,
+        )
+        with named:
+            named.run(3)
+            assert np.array_equal(direct["pos"], named.system.positions)
+
+    def test_unknown_strings_rejected_at_construction(self, tiny_system, ff):
+        with pytest.raises(KeyError):
+            DDSimulator(tiny_system, ff, n_ranks=2, backend="bogus")
+        with pytest.raises(KeyError):
+            DDSimulator(tiny_system, ff, n_ranks=2, executor="bogus")
+
+
+class TestKeywordOnlyKnobs:
+    def test_tuning_knobs_are_keyword_only(self, tiny_system, ff):
+        with pytest.raises(TypeError):
+            # Positional nstlist after executor must be rejected.
+            DDSimulator(tiny_system, ff, 2, None, None, None, 10)
+
+    def test_keyword_knobs_accepted(self, tiny_system, ff):
+        sim = DDSimulator(tiny_system, ff, n_ranks=2, nstlist=7, buffer=0.15, dt=0.001)
+        assert sim.nstlist == 7
+
+
+class TestObservability:
+    def test_executor_spans_recorded(self, tiny_system, ff):
+        from repro.obs.tracer import TRACER
+
+        TRACER.enable()
+        TRACER.clear()
+        try:
+            sim = DDSimulator(
+                tiny_system, ff, n_ranks=2, executor="process", buffer=0.12
+            )
+            with sim:
+                sim.run(2)
+            names = {s.name for s in TRACER.spans}
+        finally:
+            TRACER.disable()
+            TRACER.clear()
+        assert {"executor.dispatch", "executor.barrier"} <= names
+        # Engine spans survive the refactor.
+        assert {"dd.step", "dd.ns", "dd.nonbonded", "dd.integrate"} <= names
+
+    def test_phase_counters_increment(self, tiny_system, ff):
+        from repro.obs.metrics import METRICS
+
+        sim = DDSimulator(tiny_system, ff, n_ranks=2, executor="serial", buffer=0.12)
+        with sim:
+            before = METRICS.counter(
+                "par.phases", executor="serial", phase="forces"
+            ).value
+            sim.run(2)
+            after = METRICS.counter(
+                "par.phases", executor="serial", phase="forces"
+            ).value
+        assert after - before == 2
+
+
+class TestProcessExecutorLifecycle:
+    def test_close_is_idempotent_and_restartable(self, tiny_system, ff):
+        ex = ProcessExecutor(max_workers=2)
+        sim = DDSimulator(tiny_system, ff, n_ranks=4, executor=ex, buffer=0.12)
+        sim.run(2)
+        sim.close()
+        sim.close()  # second close must be a no-op
+
+    def test_arena_survives_rebind(self, tiny_system, ff):
+        # Repeated neighbour searches rebind the arena; same-size rebuilds
+        # must reuse the mapping and stay bit-correct.
+        ref = _run(tiny_system.copy(), ff, "serial", steps=10, nstlist=2)
+        out = _run(tiny_system.copy(), ff, "process", steps=10, nstlist=2)
+        assert np.array_equal(ref["pos"], out["pos"])
+        assert ref["energies"] == out["energies"]
+
+    def test_worker_error_propagates(self):
+        ex = ProcessExecutor(max_workers=1)
+        from repro.par.phases import RankConfig
+
+        ex.configure(
+            RankConfig(kernel=None, integrator=None, box=np.ones(3),
+                       periodic=np.ones(3, dtype=bool), r_comm=0.5),
+            1,
+        )
+        with pytest.raises(KeyError, match="unknown phase"):
+            ex.run("explode")
+        with pytest.raises(RuntimeError, match="bind"):
+            ex.run("forces")
+        ex.close()
