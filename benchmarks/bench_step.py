@@ -8,11 +8,18 @@ true-parallel rank execution; on a single core it degenerates to serial
 throughput plus IPC overhead, which the report makes visible rather than
 hiding.
 
+``--phase-breakdown`` additionally reports, per executor, the time split
+between the ``forces_local`` and ``forces_nonlocal`` phases, the
+coordinate-halo wall time, how much of it the local force phase hid
+(overlap efficiency — the paper's comm–compute overlap), and whether the
+segment-reduction kernel ever fell back to the ``np.add.at`` scatter
+path (it must not).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_step.py                 # grappa-45k, 8 ranks
     PYTHONPATH=src python benchmarks/bench_step.py --system 3000 \
-        --ranks 4 --steps 5 --out BENCH_step.json                  # CI smoke run
+        --ranks 4 --steps 5 --phase-breakdown --out BENCH_step.json  # CI smoke run
 
 Writes a JSON report (default ``BENCH_step.json``) with the machine
 context, per-executor timings, and speedups.
@@ -32,6 +39,7 @@ import numpy as np
 from repro.dd import DDSimulator
 from repro.md import default_forcefield, make_grappa_system
 from repro.md.grappa import GRAPPA_SIZES
+from repro.obs.metrics import METRICS
 
 
 def resolve_atoms(system: str) -> int:
@@ -47,30 +55,57 @@ def resolve_atoms(system: str) -> int:
         ) from None
 
 
+def _phase_breakdown(executor: str, steps: int) -> dict:
+    """Collect the per-phase and overlap metrics accumulated since reset."""
+
+    def phase_ms(phase: str) -> float:
+        return (
+            METRICS.histogram("par.rank_us", executor=executor, phase=phase).sum
+            / 1e3
+        )
+
+    halo_us = METRICS.histogram("par.overlap.halo_us", executor=executor).sum
+    hidden_us = METRICS.histogram("par.overlap.hidden_us", executor=executor).sum
+    return {
+        "forces_local_ms": phase_ms("forces_local"),
+        "forces_nonlocal_ms": phase_ms("forces_nonlocal"),
+        "halo_x_ms": halo_us / 1e3,
+        "hidden_ms": hidden_us / 1e3,
+        "overlap_efficiency": (hidden_us / halo_us) if halo_us > 0 else 0.0,
+        "scatter_fallbacks": METRICS.counter("nonbonded.scatter_fallback").value,
+    }
+
+
 def bench_executor(
     executor: str, n_atoms: int, ranks: int, steps: int, *,
     backend: str, seed: int, nstlist: int,
+    phase_breakdown: bool = False, overlap: bool = True,
 ) -> dict:
     """Steady-state ms/step for one executor (first step excluded)."""
     ff = default_forcefield(cutoff=0.65)
     system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
     with DDSimulator(
         system, ff, n_ranks=ranks, backend=backend, executor=executor,
-        nstlist=nstlist, buffer=0.12,
+        nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
     ) as sim:
         sim.step()  # warm-up: first neighbour search + pool spin-up
+        if phase_breakdown:
+            METRICS.reset()  # count only the timed steps
         t0 = time.perf_counter()
         sim.run(steps)
         elapsed = time.perf_counter() - t0
         checksum = float(np.sum(sim.system.positions))
     ms = elapsed * 1e3 / steps
-    return {
+    r = {
         "executor": executor,
         "ms_per_step": ms,
         "steps_per_s": 1e3 / ms,
         "measured_steps": steps,
         "checksum": checksum,
     }
+    if phase_breakdown:
+        r["phase_breakdown"] = _phase_breakdown(executor, steps)
+    return r
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -86,6 +121,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--executors", nargs="+",
                         default=["serial", "thread", "process"])
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--phase-breakdown", action="store_true",
+                        help="report local/non-local force split, halo wall "
+                             "time, and overlap efficiency per executor")
+    parser.add_argument("--no-overlap", action="store_true",
+                        help="force the strict schedule (local, exchange, "
+                             "non-local) on every executor")
     parser.add_argument("--out", default="BENCH_step.json")
     args = parser.parse_args(argv)
 
@@ -100,9 +141,19 @@ def main(argv: list[str] | None = None) -> None:
         r = bench_executor(
             executor, n_atoms, args.ranks, args.steps,
             backend=args.backend, seed=args.seed, nstlist=args.nstlist,
+            phase_breakdown=args.phase_breakdown, overlap=not args.no_overlap,
         )
         results.append(r)
         print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step")
+        if args.phase_breakdown:
+            pb = r["phase_breakdown"]
+            print(
+                f"           local {pb['forces_local_ms']:.2f} ms | "
+                f"nonlocal {pb['forces_nonlocal_ms']:.2f} ms | "
+                f"halo {pb['halo_x_ms']:.2f} ms, hidden "
+                f"{pb['hidden_ms']:.2f} ms "
+                f"({100.0 * pb['overlap_efficiency']:.0f}% overlapped)"
+            )
 
     by_name = {r["executor"]: r for r in results}
     serial = by_name.get("serial")
@@ -125,6 +176,7 @@ def main(argv: list[str] | None = None) -> None:
         "backend": args.backend,
         "steps": args.steps,
         "nstlist": args.nstlist,
+        "overlap_comm": not args.no_overlap,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
@@ -133,6 +185,16 @@ def main(argv: list[str] | None = None) -> None:
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if args.phase_breakdown:
+        fallbacks = sum(
+            r["phase_breakdown"]["scatter_fallbacks"] for r in results
+        )
+        if fallbacks:
+            raise SystemExit(
+                f"FAILED: segment-reduction kernel fell back to the "
+                f"np.add.at scatter path {fallbacks} time(s)"
+            )
 
 
 if __name__ == "__main__":

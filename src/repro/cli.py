@@ -212,6 +212,7 @@ def _cmd_profile_functional(args) -> None:
     with DDSimulator(
         system, ff, n_ranks=args.ranks, backend=args.backend,
         executor=args.executor, nstlist=10, buffer=0.12,
+        overlap_comm=not getattr(args, "no_overlap", False),
     ) as sim:
         sim.run(args.steps)
     spans = list(TRACER.spans)
@@ -340,6 +341,7 @@ def cmd_verify(args) -> None:
         backend=NvshmemBackend(pes_per_node=max(1, args.ranks // 2), seed=args.seed),
         executor=args.executor,
         nstlist=5, buffer=0.12, max_pulses=2,
+        overlap_comm=not args.no_overlap,
     )
     with dd:
         dd.run(args.steps)
@@ -456,6 +458,9 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--functional", action="store_true",
                    help="profile a real DD run (span accounting) instead of the model")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--no-overlap", action="store_true",
+                   help="functional runs only: strict schedule (local forces, "
+                        "halo exchange, non-local forces) with no overlap")
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", parents=[common], help="regenerate all paper figures")
@@ -473,6 +478,9 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--trace", default=None,
                    help="record engine spans and write them as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--no-overlap", action="store_true",
+                   help="strict schedule (local forces, halo exchange, "
+                        "non-local forces) with no comm-compute overlap")
     p.set_defaults(fn=cmd_verify)
 
     args = parser.parse_args(argv)

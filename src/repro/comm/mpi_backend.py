@@ -75,12 +75,12 @@ class MpiBackend(HaloBackend):
 
     # -- coordinates ------------------------------------------------------------
 
-    def exchange_coordinates(self, cluster: ClusterState) -> None:
+    def exchange_coordinates(self, cluster: ClusterState, on_pulse=None) -> None:
         plan = cluster.plan
         with TRACER.span("comm.mpi.halo_x", cat="comm", pulses=plan.n_pulses):
-            self._exchange_coordinates(cluster)
+            self._exchange_coordinates(cluster, on_pulse)
 
-    def _exchange_coordinates(self, cluster: ClusterState) -> None:
+    def _exchange_coordinates(self, cluster: ClusterState, on_pulse=None) -> None:
         plan = cluster.plan
         for pid in range(plan.n_pulses):
             # Pack kernels (one per rank; a CPU wait precedes the MPI call).
@@ -99,6 +99,10 @@ class MpiBackend(HaloBackend):
                 cluster.local_pos[rp.rank][
                     p.atom_offset : p.atom_offset + p.recv_size
                 ] = self._recv_buf[rp.rank][pid]
+            if on_pulse is not None:
+                # Every rank's inbound pulse pid is unpacked at this point.
+                for rp in plan.ranks:
+                    on_pulse(rp.rank, pid)
 
     # -- forces --------------------------------------------------------------------
 

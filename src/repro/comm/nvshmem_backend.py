@@ -123,7 +123,7 @@ class NvshmemBackend(HaloBackend):
 
     # -- coordinate exchange ------------------------------------------------------
 
-    def exchange_coordinates(self, cluster: ClusterState) -> None:
+    def exchange_coordinates(self, cluster: ClusterState, on_pulse=None) -> None:
         rt = self.runtime
         plan = cluster.plan
         if rt is None:
@@ -146,6 +146,12 @@ class NvshmemBackend(HaloBackend):
             self._run_scheduled(tasks, rng, direction="x")
         # The schedule is complete; all signals observed. (quiet for hygiene)
         rt.quiet()
+        if on_pulse is not None:
+            # Delayed delivery means inbound data is only guaranteed visible
+            # after quiet(); batch every (rank, pulse) notification here.
+            for rp in plan.ranks:
+                for p in rp.pulses:
+                    on_pulse(rp.rank, p.pulse_id)
 
     def _run_scheduled(self, tasks, rng, direction: str) -> None:
         """Drive the fused kernels' task generators, counting proxy stalls.

@@ -25,8 +25,8 @@ class ReferenceBackend(HaloBackend):
     def bind(self, cluster: ClusterState) -> None:
         pass
 
-    def exchange_coordinates(self, cluster: ClusterState) -> None:
-        reference_coordinate_exchange(cluster)
+    def exchange_coordinates(self, cluster: ClusterState, on_pulse=None) -> None:
+        reference_coordinate_exchange(cluster, on_pulse=on_pulse)
 
     def exchange_forces(self, cluster: ClusterState) -> None:
         reference_force_exchange(cluster)

@@ -40,7 +40,7 @@ class ThreadMpiBackend(HaloBackend):
                 f"{ppn} per node (use the mpi or nvshmem backend)"
             )
 
-    def exchange_coordinates(self, cluster: ClusterState) -> None:
+    def exchange_coordinates(self, cluster: ClusterState, on_pulse=None) -> None:
         plan = cluster.plan
         with TRACER.span("comm.threadmpi.halo_x", cat="comm", pulses=plan.n_pulses):
             for pid in range(plan.n_pulses):
@@ -63,6 +63,10 @@ class ThreadMpiBackend(HaloBackend):
                     METRICS.counter("comm.bytes", backend="threadmpi", dir="x").inc(
                         packed[rp.rank].nbytes
                     )
+                if on_pulse is not None:
+                    # All peer copies for pulse pid have landed on every rank.
+                    for rp in plan.ranks:
+                        on_pulse(rp.rank, pid)
 
     def exchange_forces(self, cluster: ClusterState) -> None:
         plan = cluster.plan

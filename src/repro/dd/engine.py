@@ -59,6 +59,9 @@ class RankWorkload:
     n_pairs_local: int
     n_pairs_nonlocal: int
     pulse_send_sizes: list[int]
+    #: Non-local pairs grouped by the latest pulse they depend on (the
+    #: ``depOffset`` partition) — sums to ``n_pairs_nonlocal``.
+    pulse_pair_counts: list[int] = field(default_factory=list)
 
 
 @dataclass
@@ -88,6 +91,10 @@ class DDSimulator:
     coulomb: str = "rf"
     pme_grid: tuple[int, int, int] | None = None
     n_pme_ranks: int = 0
+    #: Overlap the coordinate halo with the local force phase (the paper's
+    #: comm–compute overlap).  ``False`` forces the strict schedule on
+    #: every executor: local forces, full exchange, non-local forces.
+    overlap_comm: bool = True
     topology: "object | None" = None
     step_count: int = 0
     energies: list[StepEnergies] = field(default_factory=list)
@@ -151,7 +158,7 @@ class DDSimulator:
             self.n_ranks,
         )
         self.cluster: ClusterState | None = None
-        self._pairs: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pair_stats: list[dict] = []
         self._ns_positions: np.ndarray | None = None
         self.workloads: list[RankWorkload] = []
 
@@ -184,6 +191,8 @@ class DDSimulator:
                 n_home=rp.n_home,
                 zone_shift=rp.zone_shift,
                 bonded=self._bonded[r] if self._bonded else None,
+                src_pulse=rp.src_pulse,
+                n_pulses=cluster.plan.n_pulses,
             )
             for r, rp in enumerate(cluster.plan.ranks)
         ]
@@ -216,20 +225,20 @@ class DDSimulator:
         self._assign_bonded()
         self.backend.bind(self.cluster)
         self._bind_executor()
-        self._pairs = self.executor.run("pairs")
+        self._pair_stats = self.executor.run("pairs")
         self._ns_positions = self.system.positions.copy()
         self.workloads = []
         for r, plan in enumerate(self.cluster.plan.ranks):
-            i, j = self._pairs[r]
-            local = (i < plan.n_home) & (j < plan.n_home)
+            stats = self._pair_stats[r]
             self.workloads.append(
                 RankWorkload(
                     rank=r,
                     n_home=plan.n_home,
                     n_halo=plan.n_halo,
-                    n_pairs_local=int(np.count_nonzero(local)),
-                    n_pairs_nonlocal=int(i.size - np.count_nonzero(local)),
+                    n_pairs_local=stats["n_local"],
+                    n_pairs_nonlocal=stats["n_nonlocal"],
                     pulse_send_sizes=[p.send_size for p in plan.pulses],
+                    pulse_pair_counts=stats["pulse_pairs"],
                 )
             )
         METRICS.counter("dd.ns_builds").inc()
@@ -273,15 +282,36 @@ class DDSimulator:
 
             b_ok, b_loc = claim(top.bonds)
             a_ok, a_loc = claim(top.angles)
+            bonds = b_loc[b_ok]
+            bond_r0 = top.bond_r0[b_ok]
+            bond_k = top.bond_k[b_ok]
+            angles = a_loc[a_ok]
+            angle_t0 = top.angle_theta0[a_ok]
+            angle_k = top.angle_k[a_ok]
+            # Home/halo split for the overlapped force phases: a term goes
+            # in ``forces_local`` only when every member is a home atom.
+            b_home = np.all(bonds < rp.n_home, axis=1)
+            a_home = np.all(angles < rp.n_home, axis=1)
+
+            def pkg(bm, am):
+                return {
+                    "bonds": bonds[bm],
+                    "bond_r0": bond_r0[bm],
+                    "bond_k": bond_k[bm],
+                    "angles": angles[am],
+                    "angle_theta0": angle_t0[am],
+                    "angle_k": angle_k[am],
+                }
+
             self._bonded.append(
                 {
-                    "bonds": b_loc[b_ok],
-                    "bond_r0": top.bond_r0[b_ok],
-                    "bond_k": top.bond_k[b_ok],
-                    "angles": a_loc[a_ok],
-                    "angle_theta0": top.angle_theta0[a_ok],
-                    "angle_k": top.angle_k[a_ok],
+                    # Flat views of everything this rank claimed (back-compat
+                    # for workload accounting); home/halo carry the split.
+                    "bonds": bonds,
+                    "angles": angles,
                     "mol": top.molecule_of[rp.global_ids],
+                    "home": pkg(b_home, a_home),
+                    "halo": pkg(~b_home, ~a_home),
                 }
             )
 
@@ -295,24 +325,64 @@ class DDSimulator:
 
     # -- forces ---------------------------------------------------------------
 
+    def _exchange_coordinates_overlapped(self, ready) -> None:
+        """Coordinate halo that releases ranks to ``ready`` as pulses land.
+
+        ``ready(rank)`` is called exactly once per rank: eagerly, the
+        moment the backend reports that rank's last inbound pulse complete
+        (``on_pulse``), and in a catch-all sweep after the exchange
+        returns for ranks the backend never notified (backends may batch
+        or skip notifications — see :class:`repro.comm.base.HaloBackend`).
+        """
+        n_pulses = self.cluster.plan.n_pulses
+        notified = [False] * self.n_ranks
+        seen = [0] * self.n_ranks
+
+        def on_pulse(rank: int, pulse_id: int) -> None:
+            seen[rank] += 1
+            if seen[rank] >= n_pulses and not notified[rank]:
+                notified[rank] = True
+                ready(rank)
+
+        with TRACER.span(
+            "dd.halo_x", cat="comm", backend=getattr(self.backend, "name", "?")
+        ):
+            self.backend.exchange_coordinates(self.cluster, on_pulse=on_pulse)
+        self._publish(self.backend.mutates_coordinates)
+        for r in range(self.n_ranks):
+            if not notified[r]:
+                notified[r] = True
+                ready(r)
+
     def compute_forces(self) -> tuple[float, float, float]:
-        """Per-rank forces through the executor, then the force halo.
+        """Split force phases around the coordinate halo, then the force halo.
+
+        ``forces_local`` needs no halo data, so concurrent executors run it
+        *during* the coordinate exchange; each rank's ``forces_nonlocal``
+        is released as soon as that rank's inbound pulses complete.  The
+        serial executor (and ``overlap_comm=False``) keeps the strict
+        order — local, exchange, non-local — as the bit-exactness
+        reference.
 
         Returns globally summed (E_lj, E_coulomb, E_bonded); each pair
-        contributes on exactly one rank, so the rank-ordered sum is the
-        total (and is identical for every executor).
+        contributes on exactly one rank and the partial energies are
+        summed in fixed rank order (local tuple then non-local tuple), so
+        the total is identical for every executor.
         """
         cluster = self.cluster
-        with TRACER.span("dd.nonbonded", cat="force", ranks=self.n_ranks):
-            per_rank = self.executor.run("forces")
+        with TRACER.span("dd.forces", cat="force", ranks=self.n_ranks):
+            local, nonloc = self.executor.run_forces_overlapped(
+                self._exchange_coordinates_overlapped, overlap=self.overlap_comm
+            )
         e_lj_total = 0.0
         e_coul_total = 0.0
         e_bonded_total = 0.0
-        for e_lj, e_corr, e_coul, e_bonded in per_rank:
-            e_coul_total += e_corr
-            e_bonded_total += e_bonded
-            e_lj_total += e_lj
-            e_coul_total += e_coul
+        for halves in zip(local, nonloc):
+            for e_lj, e_corr, e_coul, e_bonded in halves:
+                e_coul_total += e_corr
+                e_bonded_total += e_bonded
+                e_lj_total += e_lj
+                e_coul_total += e_coul
         with TRACER.span("dd.halo_f", cat="comm", backend=getattr(self.backend, "name", "?")):
             self.backend.exchange_forces(cluster)
         if self._pme_session is not None:
@@ -340,11 +410,22 @@ class DDSimulator:
 
     # -- stepping ---------------------------------------------------------------
 
-    def prepare_step(self) -> None:
-        """Neighbour search or coordinate halo, as the lifecycle demands."""
+    def _ensure_ns(self) -> None:
+        """Run a neighbour search when the lifecycle demands one."""
         if self._needs_ns():
             with TRACER.span("dd.ns", cat="dd", step=self.step_count):
                 self.neighbor_search()
+
+    def prepare_step(self) -> None:
+        """Neighbour search or coordinate halo, as the lifecycle demands.
+
+        Direct-caller convenience (``prepare_step`` + ``compute_forces``):
+        performs a strict, fully synchronous coordinate exchange.  The
+        stepping loop itself uses the overlapped exchange embedded in
+        :meth:`compute_forces`; an extra strict exchange before it is
+        idempotent.
+        """
+        self._ensure_ns()
         with TRACER.span(
             "dd.halo_x", cat="comm", backend=getattr(self.backend, "name", "?")
         ):
@@ -354,7 +435,7 @@ class DDSimulator:
     def step(self) -> StepEnergies:
         """One complete MD step across all ranks."""
         with TRACER.span("dd.step", cat="dd", step=self.step_count):
-            self.prepare_step()
+            self._ensure_ns()
             e_lj, e_coul, e_bonded = self.compute_forces()
             cluster = self.cluster
             kin = 0.0

@@ -12,7 +12,7 @@ from repro.md.cells import CellList
 from repro.md.forcefield import ForceField, default_forcefield
 from repro.md.grappa import GRAPPA_SIZES, grappa_label, make_grappa_system
 from repro.md.integrator import LeapFrogIntegrator, kinetic_energy, remove_com_motion
-from repro.md.nonbonded import NonbondedKernel, pair_forces
+from repro.md.nonbonded import NonbondedKernel, PairBlock, block_forces, pair_forces
 from repro.md.pairlist import PairList, VerletListBuilder
 from repro.md.reference import ReferenceSimulator
 from repro.md.system import MDSystem, minimum_image, wrap_positions
@@ -25,7 +25,9 @@ __all__ = [
     "LeapFrogIntegrator",
     "MDSystem",
     "NonbondedKernel",
+    "PairBlock",
     "PairList",
+    "block_forces",
     "ReferenceSimulator",
     "VerletListBuilder",
     "default_forcefield",

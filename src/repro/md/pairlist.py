@@ -27,13 +27,22 @@ from repro.obs.metrics import METRICS
 
 @dataclass
 class PairList:
-    """A flat i/j pair list with build-time bookkeeping."""
+    """A flat i/j pair list with build-time bookkeeping.
+
+    ``sorted_by_i`` records the segment-reduction invariant: when true the
+    ``i`` array is non-decreasing, so the kernel may use the fast
+    ``reduceat``/``bincount`` path (:class:`repro.md.nonbonded.PairBlock`)
+    instead of the ``np.add.at`` scatter fallback.  Builds produce sorted
+    lists (the cell list emits canonically ordered pairs) and ``prune``
+    preserves — or restores — the flag.
+    """
 
     i: np.ndarray
     j: np.ndarray
     r_list: float
     ref_positions: np.ndarray = field(repr=False)
     steps_since_build: int = 0
+    sorted_by_i: bool = False
 
     def __post_init__(self) -> None:
         if self.i.shape != self.j.shape:
@@ -69,7 +78,13 @@ class VerletListBuilder:
         i, j = self._cells.pairs_within(positions, self.r_list)
         METRICS.counter("pairlist.builds").inc()
         METRICS.histogram("pairlist.pairs_built").observe(int(i.size))
-        return PairList(i=i, j=j, r_list=self.r_list, ref_positions=np.array(positions, copy=True))
+        # pairs_within emits canonically (i, j)-lexsorted pairs, so the
+        # segment-reduction invariant holds from birth.
+        return PairList(
+            i=i, j=j, r_list=self.r_list,
+            ref_positions=np.array(positions, copy=True),
+            sorted_by_i=True,
+        )
 
     def needs_rebuild(self, pairs: PairList, positions: np.ndarray) -> bool:
         """True when list-validity can no longer be guaranteed.
@@ -105,11 +120,19 @@ class VerletListBuilder:
         METRICS.counter("pairlist.pairs_dropped").inc(pairs.n_pairs - kept)
         if pairs.n_pairs:
             METRICS.histogram("pairlist.keep_frac").observe(kept / pairs.n_pairs)
+        ki, kj = pairs.i[mask], pairs.j[mask]
+        # Boolean masking preserves order, so a sorted input stays sorted;
+        # an unsorted input is re-sorted here so pruned lists are always
+        # segment-reducible rather than silently hitting the scatter path.
+        if not pairs.sorted_by_i:
+            order = np.lexsort((kj, ki))
+            ki, kj = ki[order], kj[order]
         pruned = PairList(
-            i=pairs.i[mask],
-            j=pairs.j[mask],
+            i=ki,
+            j=kj,
             r_list=pairs.r_list,
             ref_positions=pairs.ref_positions,
             steps_since_build=pairs.steps_since_build,
+            sorted_by_i=True,
         )
         return pruned

@@ -14,9 +14,10 @@ import numpy as np
 
 from repro.md.forcefield import ForceField
 from repro.md.integrator import LeapFrogIntegrator
-from repro.md.nonbonded import NonbondedKernel
+from repro.md.nonbonded import NonbondedKernel, PairBlock
 from repro.md.pairlist import PairList, VerletListBuilder
 from repro.md.system import MDSystem
+from repro.obs.metrics import METRICS
 
 
 @dataclass
@@ -83,6 +84,10 @@ class ReferenceSimulator:
             raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._pairs: PairList | None = None
+        self._cached_for: PairList | None = None
+        self._block: PairBlock | None = None
+        self._kernel_pairs: tuple[np.ndarray, np.ndarray] | None = None
+        self._excl: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- forces -------------------------------------------------------------
 
@@ -94,24 +99,52 @@ class ReferenceSimulator:
             self._pairs = self._builder.build(sys.positions)
         return self._pairs
 
+    def _refresh_pair_cache(self, pairs: PairList) -> None:
+        """Per-list caches: exclusion split + segment-reduction block.
+
+        The exclusion mask and the kernel's parameter gathers depend only
+        on the pair list, so they are computed once per (re)build instead
+        of every step.  Unsorted lists (never produced by the builder, but
+        possible via direct :class:`PairList` construction) fall back to
+        the ``np.add.at`` scatter path and are counted, so benchmarks can
+        fail loudly if the hot path degrades.
+        """
+        sys = self.system
+        pi, pj = pairs.i, pairs.j
+        if self.topology is not None:
+            mol = self.topology.molecule_of
+            excl = mol[pi] == mol[pj]
+            self._excl = (pi[excl], pj[excl])
+            pi, pj = pi[~excl], pj[~excl]
+        else:
+            self._excl = (pi[:0], pj[:0])
+        self._kernel_pairs = (pi, pj)
+        if pairs.sorted_by_i:
+            self._block = self._kernel.make_block(
+                pi, pj, sys.type_ids, sys.charges, n_atoms=sys.n_atoms
+            )
+        else:
+            self._block = None
+            METRICS.counter("nonbonded.scatter_fallback").inc()
+        self._cached_for = pairs
+
     def compute_forces(self) -> tuple[float, float, float]:
         """Fill ``system.forces``; returns (E_lj, E_coulomb, E_bonded)."""
         sys = self.system
         pairs = self.ensure_pairs()
+        if self._cached_for is not pairs:
+            self._refresh_pair_cache(pairs)
         sys.forces = np.zeros_like(sys.positions)
-        pi, pj = pairs.i, pairs.j
         e_bonded = 0.0
         if self.topology is not None:
             from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
 
-            mol = self.topology.molecule_of
-            excl = mol[pi] == mol[pj]
+            ei, ej = self._excl
             _, e_corr = exclusion_correction(
-                sys.positions, pi[excl], pj[excl], sys.charges, self.ff,
+                sys.positions, ei, ej, sys.charges, self.ff,
                 coulomb=self._kernel.coulomb, ewald_beta=self._kernel.ewald_beta,
                 box=sys.box, out_forces=sys.forces,
             )
-            pi, pj = pi[~excl], pj[~excl]
             _, e_b = bond_forces(
                 sys.positions, self.topology.bonds, self.topology.bond_r0,
                 self.topology.bond_k, box=sys.box, out_forces=sys.forces,
@@ -123,15 +156,21 @@ class ReferenceSimulator:
             e_bonded = e_b + e_a
         else:
             e_corr = 0.0
-        _, e_lj, e_coul = self._kernel.compute(
-            sys.positions,
-            pi,
-            pj,
-            sys.type_ids,
-            sys.charges,
-            box=sys.box,
-            out_forces=sys.forces,
-        )
+        if self._block is not None:
+            _, e_lj, e_coul = self._kernel.compute_block(
+                sys.positions, self._block, box=sys.box, out_forces=sys.forces
+            )
+        else:
+            pi, pj = self._kernel_pairs
+            _, e_lj, e_coul = self._kernel.compute(
+                sys.positions,
+                pi,
+                pj,
+                sys.type_ids,
+                sys.charges,
+                box=sys.box,
+                out_forces=sys.forces,
+            )
         e_coul += e_corr
         if self._pme is not None:
             from repro.md.system import wrap_positions

@@ -31,6 +31,7 @@ from repro.par.phases import (
     RankConfig,
     RankNsData,
     RankWorkspace,
+    SplitPairs,
 )
 from repro.par.process import ProcessExecutor
 from repro.par.serial import SerialExecutor
@@ -46,6 +47,7 @@ __all__ = [
     "RankNsData",
     "RankWorkspace",
     "SerialExecutor",
+    "SplitPairs",
     "ThreadExecutor",
     "executor_registry",
     "make_executor",

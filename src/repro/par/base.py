@@ -41,6 +41,7 @@ stragglers) shows up directly in span-based cycle accounting.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Sequence
 
@@ -122,6 +123,41 @@ class RankExecutor(ABC):
         self.fetch(PHASE_WRITES[phase])
         METRICS.counter("par.phases", executor=self.name, phase=phase).inc()
         return results
+
+    def run_forces_overlapped(
+        self, exchange: Callable[[Callable[[int], None]], None], overlap: bool = True
+    ) -> tuple[list[Any], list[Any]]:
+        """Run the split force phases around a coordinate halo exchange.
+
+        ``exchange(ready)`` must perform the coordinate halo exchange and
+        invoke ``ready(rank)`` exactly once per rank, as soon as that
+        rank's inbound halo pulses are all complete (it may batch the
+        calls at the end).  Returns the per-rank results of the
+        ``forces_local`` and ``forces_nonlocal`` phases.
+
+        The base implementation is the *strict* schedule — local forces,
+        then the full exchange, then non-local forces, with no overlap —
+        and is the bit-exactness reference.  Concurrent executors
+        override it to release each rank's ``forces_nonlocal`` the moment
+        its halo completes while other ranks' pulses are still in flight
+        (the paper's comm–compute overlap).
+        """
+        local = self.run("forces_local")
+        t0 = time.perf_counter()
+        exchange(lambda rank: None)
+        halo_s = time.perf_counter() - t0
+        nonlocal_ = self.run("forces_nonlocal")
+        self._observe_overlap(halo_s, 0.0)
+        return local, nonlocal_
+
+    def _observe_overlap(self, halo_s: float, hidden_s: float) -> None:
+        """Record the halo wall time and how much of it compute covered."""
+        METRICS.histogram("par.overlap.halo_us", executor=self.name).observe(
+            halo_s * 1e6
+        )
+        METRICS.histogram("par.overlap.hidden_us", executor=self.name).observe(
+            hidden_s * 1e6
+        )
 
     @abstractmethod
     def _dispatch(self, phase: str) -> Any:

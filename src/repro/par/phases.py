@@ -10,16 +10,32 @@ property of the design rather than a numerical accident: a rank's work
 involves no cross-rank reduction, so scheduling order cannot change any
 floating-point result.
 
+The force phase is split the way GROMACS splits its non-bonded streams
+(Páll et al. 2020; the paper's Algorithm 4 consumes the same partition):
+
+* ``forces_local`` — pairs with both atoms home, home-only bonded terms,
+  and home-only exclusion corrections.  Needs no halo data, so it is
+  eligible the moment integration lands — *before* the coordinate halo.
+* ``forces_nonlocal`` — pairs touching at least one halo atom (partitioned
+  per delivering pulse via ``src_pulse``, the per-atom record of the
+  ``dep_offset`` machinery), halo-touching bonded terms, and the remaining
+  exclusion corrections.  Eligible per rank once that rank's inbound halo
+  pulses have completed.
+
+Both phases accumulate into the same per-rank force array in a fixed
+order (local first), so the split changes nothing observable — it only
+creates the window in which the halo exchange can hide.
+
 The data model:
 
 * :class:`RankConfig` — static for the life of a simulator (kernel,
   integrator, box geometry).  Sent to process workers once.
 * :class:`RankNsData` — per-neighbour-search, per-rank metadata (home
-  count, zone shifts, rank-local bonded lists).  Sent at every rebind;
-  contains only index arrays and small parameter tables.
+  count, zone shifts, pulse provenance, rank-local bonded lists).  Sent at
+  every rebind; contains only index arrays and small parameter tables.
 * :class:`RankWorkspace` — the per-rank working set: views over the
   cluster arrays (or their shared-memory twins in worker processes) plus
-  the cached pair list produced by the ``pairs`` phase.
+  the cached :class:`SplitPairs` produced by the ``pairs`` phase.
 """
 
 from __future__ import annotations
@@ -31,7 +47,7 @@ import numpy as np
 from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
 from repro.md.cells import CellList
 from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
-from repro.md.nonbonded import NonbondedKernel
+from repro.md.nonbonded import NonbondedKernel, PairBlock
 
 #: Cluster array fields every workspace carries, in layout order.  The
 #: executor shared-memory arena and the engine's ``ClusterState`` lists
@@ -43,6 +59,8 @@ FIELDS: tuple[str, ...] = ("pos", "vel", "forces", "types", "charges", "masses")
 PHASE_WRITES: dict[str, tuple[str, ...]] = {
     "pairs": (),
     "forces": ("forces",),
+    "forces_local": ("forces",),
+    "forces_nonlocal": ("forces",),
     "integrate": ("pos", "vel"),
 }
 
@@ -62,14 +80,42 @@ class RankConfig:
 class RankNsData:
     """Per-rank state rebuilt at every neighbour search (picklable).
 
-    ``bonded`` is the rank-local bonded work package (local index arrays
-    plus parameter tables) or ``None`` when the system has no topology.
+    ``bonded`` is the rank-local bonded work package or ``None`` when the
+    system has no topology: ``{"mol": ..., "home": {...}, "halo": {...}}``
+    where the ``home`` package references only home atoms (computed in
+    ``forces_local``) and ``halo`` the rest (computed in
+    ``forces_nonlocal``).  ``src_pulse`` maps each local atom to the halo
+    pulse that delivered it (-1 for home atoms) and drives the per-pulse
+    partition of the non-local pair list.
     """
 
     rank: int
     n_home: int
     zone_shift: np.ndarray
     bonded: dict | None = None
+    src_pulse: np.ndarray | None = None
+    n_pulses: int = 0
+
+
+@dataclass
+class SplitPairs:
+    """The per-rank pair list, split for comm–compute overlap.
+
+    ``local``/``nonlocal_kernel`` are segment-reduction
+    :class:`~repro.md.nonbonded.PairBlock` caches; the non-local block is
+    sorted by (required pulse, i) with ``pulse_offsets`` marking the
+    per-pulse groups (offset ``p`` .. ``p+1`` needs pulses 0..p complete),
+    mirroring the paper's ``depOffset`` dependency partition.  Excluded
+    (intramolecular) pairs are carried separately for the electrostatic
+    exclusion correction, split by the same home/halo rule.
+    """
+
+    local: PairBlock
+    nonlocal_kernel: PairBlock
+    pulse_offsets: np.ndarray
+    excl_local: tuple[np.ndarray, np.ndarray]
+    excl_nonlocal: tuple[np.ndarray, np.ndarray]
+    stats: dict
 
 
 @dataclass
@@ -84,7 +130,7 @@ class RankWorkspace:
     types: np.ndarray
     charges: np.ndarray
     masses: np.ndarray
-    pairs: tuple[np.ndarray, np.ndarray] | None = field(default=None)
+    pairs: SplitPairs | None = field(default=None)
 
     def arrays(self) -> dict[str, np.ndarray]:
         return {name: getattr(self, name) for name in FIELDS}
@@ -93,14 +139,17 @@ class RankWorkspace:
 # -- phase kernels ------------------------------------------------------------
 
 
-def pair_search(ws: RankWorkspace) -> tuple[np.ndarray, np.ndarray]:
+def pair_search(ws: RankWorkspace) -> dict:
     """Rank-local pair search over home + halo with the zone rule.
 
     Eighth-shell assignment: a pair is computed here iff the elementwise
     minimum of the two atoms' zone shifts is zero (both atoms visible, and
-    no other rank sees the pair with this property).  The result is cached
-    on the workspace for the ``forces`` phase, so only the index arrays
-    ever cross an executor boundary.
+    no other rank sees the pair with this property).  The kept pairs are
+    split into local / per-pulse non-local blocks with cached kernel
+    parameters (see :class:`SplitPairs`) — exclusion masking, parameter
+    gathers, and the segment sort all happen here, once per neighbour
+    search, not per step.  Only the lightweight ``stats`` dict crosses an
+    executor boundary.
     """
     cfg = ws.cfg
     pos = ws.pos.astype(np.float64)
@@ -113,58 +162,139 @@ def pair_search(ws: RankWorkspace) -> tuple[np.ndarray, np.ndarray]:
     i, j = cells.pairs_within(pos, r_list)
     zs = ws.ns.zone_shift
     keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
-    ws.pairs = (i[keep], j[keep])
-    return ws.pairs
+    i, j = i[keep], j[keep]
+
+    # Exclusion (intramolecular) filtering is static per NS interval, so
+    # it happens here rather than per step.
+    if ws.ns.bonded is not None:
+        mol = ws.ns.bonded["mol"]
+        excl = mol[i] == mol[j]
+        ei, ej = i[excl], j[excl]
+        i, j = i[~excl], j[~excl]
+    else:
+        ei, ej = i[:0], j[:0]
+
+    nh = ws.ns.n_home
+    n_atoms = ws.pos.shape[0]
+    kernel = cfg.kernel
+
+    # Local split: pairs_within emits (i, j)-lexsorted pairs and boolean
+    # masking preserves order, so both halves stay sorted by i.
+    local_mask = (i < nh) & (j < nh)
+    li, lj = i[local_mask], j[local_mask]
+    ni, nj = i[~local_mask], j[~local_mask]
+
+    # Per-pulse partition: a non-local pair is computable once the latest
+    # pulse that delivered either atom has arrived (src_pulse is -1 for
+    # home atoms, so max() picks the halo dependency).
+    sp = ws.ns.src_pulse
+    n_pulses = ws.ns.n_pulses
+    if sp is not None and ni.size:
+        req = np.maximum(sp[ni], sp[nj]).astype(np.int64)
+    else:
+        req = np.zeros(ni.size, dtype=np.int64)
+    order = np.argsort(req, kind="stable")  # stable keeps i sorted per pulse
+    ni, nj, req = ni[order], nj[order], req[order]
+    pulse_offsets = np.searchsorted(req, np.arange(max(n_pulses, 1) + 1))
+
+    el_mask = (ei < nh) & (ej < nh)
+    ws.pairs = SplitPairs(
+        local=kernel.make_block(li, lj, ws.types, ws.charges, n_atoms=n_atoms),
+        nonlocal_kernel=kernel.make_block(
+            ni, nj, ws.types, ws.charges, n_atoms=n_atoms, group_key=req
+        ),
+        pulse_offsets=pulse_offsets,
+        excl_local=(ei[el_mask], ej[el_mask]),
+        excl_nonlocal=(ei[~el_mask], ej[~el_mask]),
+        stats={
+            "n_local": int(li.size),
+            "n_nonlocal": int(ni.size),
+            "n_excluded": int(ei.size),
+            "pulse_pairs": np.diff(pulse_offsets).tolist(),
+        },
+    )
+    return ws.pairs.stats
 
 
-def compute_forces(ws: RankWorkspace) -> tuple[float, float, float, float]:
-    """Local + non-local forces for one rank.
-
-    Returns ``(e_lj, e_coul_correction, e_coul_pair, e_bonded)`` — the
-    Coulomb exclusion correction is reported separately so the engine can
-    reproduce the serial accumulation order exactly when summing ranks.
-    """
-    if ws.pairs is None:
-        raise RuntimeError("run the 'pairs' phase before 'forces'")
+def _bonded_package(ws: RankWorkspace, which: str, out_forces) -> float:
+    """Bond + angle forces for the ``home`` or ``halo`` bonded package."""
     cfg = ws.cfg
-    ws.forces[:] = 0.0
-    i, j = ws.pairs
+    bd = ws.ns.bonded[which]
+    _, e_b = bond_forces(
+        ws.pos, bd["bonds"], bd["bond_r0"], bd["bond_k"],
+        box=cfg.box, periodic=cfg.periodic, out_forces=out_forces,
+    )
+    _, e_a = angle_forces(
+        ws.pos, bd["angles"], bd["angle_theta0"], bd["angle_k"],
+        box=cfg.box, periodic=cfg.periodic, out_forces=out_forces,
+    )
+    return e_b + e_a
+
+
+def _forces_half(
+    ws: RankWorkspace, block: PairBlock, excl: tuple, which: str
+) -> tuple[float, float, float, float]:
+    """Shared body of the two force phases: corrections, bonded, kernel."""
+    cfg = ws.cfg
     e_corr = 0.0
     e_bonded = 0.0
     if ws.ns.bonded is not None:
-        bd = ws.ns.bonded
-        mol = bd["mol"]
-        excl = mol[i] == mol[j]
+        ei, ej = excl
         _, e_corr = exclusion_correction(
-            ws.pos, i[excl], j[excl],
+            ws.pos, ei, ej,
             ws.charges, cfg.kernel.ff,
             coulomb=cfg.kernel.coulomb, ewald_beta=cfg.kernel.ewald_beta,
             box=cfg.box, periodic=cfg.periodic,
             out_forces=ws.forces,
         )
-        i, j = i[~excl], j[~excl]
-        _, e_b = bond_forces(
-            ws.pos, bd["bonds"], bd["bond_r0"], bd["bond_k"],
-            box=cfg.box, periodic=cfg.periodic,
-            out_forces=ws.forces,
-        )
-        _, e_a = angle_forces(
-            ws.pos, bd["angles"], bd["angle_theta0"], bd["angle_k"],
-            box=cfg.box, periodic=cfg.periodic,
-            out_forces=ws.forces,
-        )
-        e_bonded = e_b + e_a
-    _, e_lj, e_coul = cfg.kernel.compute(
-        ws.pos,
-        i,
-        j,
-        ws.types,
-        ws.charges,
-        box=cfg.box,
-        periodic=cfg.periodic,
-        out_forces=ws.forces,
+        e_bonded = _bonded_package(ws, which, ws.forces)
+    _, e_lj, e_coul = cfg.kernel.compute_block(
+        ws.pos, block,
+        box=cfg.box, periodic=cfg.periodic, out_forces=ws.forces,
     )
     return e_lj, e_corr, e_coul, e_bonded
+
+
+def compute_forces_local(ws: RankWorkspace) -> tuple[float, float, float, float]:
+    """Home-only forces for one rank (no halo coordinates touched).
+
+    Zeroes the force array, then accumulates home-pair non-bonded forces,
+    home-only bonded terms, and home-only exclusion corrections.  Reads
+    only home coordinate rows, so it may run concurrently with the
+    coordinate halo exchange writing the halo rows.
+
+    Returns ``(e_lj, e_coul_correction, e_coul_pair, e_bonded)``.
+    """
+    sp = ws.pairs
+    if sp is None:
+        raise RuntimeError("run the 'pairs' phase before 'forces_local'")
+    ws.forces[:] = 0.0
+    return _forces_half(ws, sp.local, sp.excl_local, "home")
+
+
+def compute_forces_nonlocal(ws: RankWorkspace) -> tuple[float, float, float, float]:
+    """Halo-touching forces for one rank; requires fresh halo coordinates.
+
+    Must run after ``forces_local`` (it accumulates into the same array)
+    and after this rank's inbound coordinate pulses have completed.
+
+    Returns ``(e_lj, e_coul_correction, e_coul_pair, e_bonded)``.
+    """
+    sp = ws.pairs
+    if sp is None:
+        raise RuntimeError("run the 'pairs' phase before 'forces_nonlocal'")
+    return _forces_half(ws, sp.nonlocal_kernel, sp.excl_nonlocal, "halo")
+
+
+def compute_forces(ws: RankWorkspace) -> tuple[float, float, float, float]:
+    """Strict-order local + non-local forces (compatibility phase).
+
+    Equivalent to running ``forces_local`` then ``forces_nonlocal``;
+    returns the summed energy tuple.
+    """
+    l_lj, l_corr, l_coul, l_bonded = compute_forces_local(ws)
+    n_lj, n_corr, n_coul, n_bonded = compute_forces_nonlocal(ws)
+    return l_lj + n_lj, l_corr + n_corr, l_coul + n_coul, l_bonded + n_bonded
 
 
 def integrate(ws: RankWorkspace) -> float:
@@ -186,5 +316,7 @@ def integrate(ws: RankWorkspace) -> float:
 PHASES: dict[str, "callable"] = {
     "pairs": pair_search,
     "forces": compute_forces,
+    "forces_local": compute_forces_local,
+    "forces_nonlocal": compute_forces_nonlocal,
     "integrate": integrate,
 }

@@ -115,10 +115,30 @@ def _worker_loop(conn) -> None:
                     for rank in ranks:
                         t0 = time.perf_counter_ns()
                         result = fn(workspaces[rank])
+                        # perf_counter is CLOCK_MONOTONIC, so the absolute
+                        # end stamp is comparable across processes — the
+                        # parent uses it to measure comm–compute overlap.
                         out.append(
-                            (rank, result, (time.perf_counter_ns() - t0) / 1000.0)
+                            (
+                                rank,
+                                result,
+                                (time.perf_counter_ns() - t0) / 1000.0,
+                                time.perf_counter(),
+                            )
                         )
-                    conn.send(("ok", out))
+                    # Worker METRICS are invisible to the parent (fork), so
+                    # piggyback the cumulative fallback count on each reply.
+                    conn.send(
+                        (
+                            "ok",
+                            {
+                                "results": out,
+                                "fb": METRICS.counter(
+                                    "nonbonded.scatter_fallback"
+                                ).value,
+                            },
+                        )
+                    )
                 elif op == "close":
                     conn.send(("ok", None))
                     return
@@ -198,6 +218,7 @@ class ProcessExecutor(RankExecutor):
         self.adopted = False
         self._cfg_sent = False
         self._finalizer = None
+        self._fb_seen: list[int] = []
 
     # -- pool management -------------------------------------------------------
 
@@ -227,6 +248,7 @@ class ProcessExecutor(RankExecutor):
             self._procs.append(proc)
             self._conns.append(parent_conn)
         self._ranks_of = [list(range(w, self.n_ranks, n)) for w in range(n)]
+        self._fb_seen = [0] * n
         self._finalizer = weakref.finalize(
             self, _terminate, list(self._conns), list(self._procs), self._shm_box
         )
@@ -310,10 +332,101 @@ class ProcessExecutor(RankExecutor):
         results: list[Any] = [None] * self.n_ranks
         hist = METRICS.histogram("par.rank_us", executor=self.name, phase=phase)
         for w in range(len(self._conns)):
-            for rank, result, dur_us in self._reply(w):
+            payload = self._reply(w)
+            for rank, result, dur_us, _t_end in payload["results"]:
                 results[rank] = result
                 hist.observe(dur_us)
+            self._absorb_fallbacks(w, payload["fb"])
         return results
+
+    def _absorb_fallbacks(self, worker: int, fb: int) -> None:
+        """Fold a worker's cumulative fallback count into parent METRICS."""
+        delta = fb - self._fb_seen[worker]
+        if delta > 0:
+            METRICS.counter("nonbonded.scatter_fallback").inc(delta)
+            self._fb_seen[worker] = fb
+
+    def run_forces_overlapped(
+        self, exchange, overlap: bool = True
+    ) -> tuple[list[Any], list[Any]]:
+        """Overlapped schedule over the worker pipes.
+
+        Local batches are pipelined to every worker before the exchange
+        starts; ``ready(rank)`` then enqueues that single rank's
+        ``forces_nonlocal``.  Pipe FIFO ordering guarantees each worker
+        finishes its local batch before touching any non-local request,
+        so no locking is needed — the kernel pipe is the work queue.
+        """
+        if not overlap:
+            return super().run_forces_overlapped(exchange, overlap)
+        if not self._bound:
+            raise RuntimeError("bind() must run before executing phases")
+        n_workers = len(self._conns)
+        worker_of: dict[int, int] = {
+            r: w for w, my_ranks in enumerate(self._ranks_of) for r in my_ranks
+        }
+        with TRACER.span(
+            "executor.dispatch", cat="executor", executor=self.name, phase="forces_local"
+        ):
+            for w, my_ranks in enumerate(self._ranks_of):
+                self._request(w, ("run", "forces_local", my_ranks))
+        pending_nonlocal: list[list[int]] = [[] for _ in range(n_workers)]
+        dispatched = [False] * self.n_ranks
+
+        def ready(rank: int) -> None:
+            if dispatched[rank]:
+                return
+            dispatched[rank] = True
+            if not self.adopted:
+                # Mirror mode: the backend wrote this rank's fresh halo
+                # into the parent-side arrays; forward just its coordinates.
+                self._arena[rank]["pos"][...] = self._src[rank]["pos"]
+            w = worker_of[rank]
+            self._request(w, ("run", "forces_nonlocal", [rank]))
+            pending_nonlocal[w].append(rank)
+
+        t0 = time.perf_counter()
+        exchange(ready)
+        t1 = time.perf_counter()
+
+        local_results: list[Any] = [None] * self.n_ranks
+        nonlocal_results: list[Any] = [None] * self.n_ranks
+        hist_local = METRICS.histogram(
+            "par.rank_us", executor=self.name, phase="forces_local"
+        )
+        hist_nl = METRICS.histogram(
+            "par.rank_us", executor=self.name, phase="forces_nonlocal"
+        )
+        last_local_end = 0.0
+        with TRACER.span(
+            "executor.barrier", cat="executor", executor=self.name, phase="forces_local"
+        ):
+            for w in range(n_workers):
+                payload = self._reply(w)  # FIFO: first reply is the local batch
+                for rank, result, dur_us, t_end in payload["results"]:
+                    local_results[rank] = result
+                    hist_local.observe(dur_us)
+                    last_local_end = max(last_local_end, t_end)
+                self._absorb_fallbacks(w, payload["fb"])
+        with TRACER.span(
+            "executor.barrier",
+            cat="executor",
+            executor=self.name,
+            phase="forces_nonlocal",
+        ):
+            for w in range(n_workers):
+                for _ in pending_nonlocal[w]:
+                    payload = self._reply(w)
+                    for rank, result, dur_us, _t_end in payload["results"]:
+                        nonlocal_results[rank] = result
+                        hist_nl.observe(dur_us)
+                    self._absorb_fallbacks(w, payload["fb"])
+        hidden = max(0.0, min(last_local_end, t1) - t0)
+        self._observe_overlap(t1 - t0, hidden)
+        self.fetch(("forces",))
+        METRICS.counter("par.phases", executor=self.name, phase="forces_local").inc()
+        METRICS.counter("par.phases", executor=self.name, phase="forces_nonlocal").inc()
+        return local_results, nonlocal_results
 
     # -- coherence -------------------------------------------------------------
 

@@ -11,9 +11,10 @@ host ranks genuinely overlap — without the serialization the old
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -70,6 +71,76 @@ class ThreadExecutor(RankExecutor):
 
     def _collect(self, phase: str, token: list[Future]) -> list[Any]:
         return [f.result() for f in token]
+
+    def run_forces_overlapped(
+        self, exchange: Callable[[Callable[[int], None]], None], overlap: bool = True
+    ) -> tuple[list[Any], list[Any]]:
+        """Overlapped schedule: ``forces_local`` runs *during* the halo.
+
+        Local tasks are dispatched before the exchange starts; each rank's
+        ``forces_nonlocal`` is submitted by whichever event happens second
+        for that rank — its local task finishing, or its halo completing
+        (the ``ready`` callback) — under one lock, so exactly one party
+        submits.
+        """
+        if not overlap:
+            return super().run_forces_overlapped(exchange, overlap)
+        if not self._bound:
+            raise RuntimeError("bind() must run before executing phases")
+        n = self.n_ranks
+        lock = threading.Lock()
+        local_done = [False] * n
+        halo_ready = [False] * n
+        local_end = [0.0] * n
+        nonlocal_futs: list[Future | None] = [None] * n
+
+        def submit_nonlocal(rank: int) -> None:
+            nonlocal_futs[rank] = self._pool.submit(
+                self._run_rank, "forces_nonlocal", rank
+            )
+
+        def run_local(rank: int) -> Any:
+            result = self._run_rank("forces_local", rank)
+            t = time.perf_counter()
+            with lock:
+                local_done[rank] = True
+                local_end[rank] = t
+                if halo_ready[rank] and nonlocal_futs[rank] is None:
+                    submit_nonlocal(rank)
+            return result
+
+        def ready(rank: int) -> None:
+            with lock:
+                halo_ready[rank] = True
+                if local_done[rank] and nonlocal_futs[rank] is None:
+                    submit_nonlocal(rank)
+
+        with TRACER.span(
+            "executor.dispatch", cat="executor", executor=self.name, phase="forces_local"
+        ):
+            local_futs = [self._pool.submit(run_local, r) for r in range(n)]
+        t0 = time.perf_counter()
+        exchange(ready)
+        t1 = time.perf_counter()
+        with TRACER.span(
+            "executor.barrier", cat="executor", executor=self.name, phase="forces_local"
+        ):
+            local = [f.result() for f in local_futs]
+        # ready() ran for every rank inside exchange() and every local task
+        # has finished, so each rank's non-local future exists by now.
+        with TRACER.span(
+            "executor.barrier",
+            cat="executor",
+            executor=self.name,
+            phase="forces_nonlocal",
+        ):
+            nonlocal_ = [nonlocal_futs[r].result() for r in range(n)]
+        hidden = max(0.0, min(max(local_end), t1) - t0)
+        self._observe_overlap(t1 - t0, hidden)
+        self.fetch(("forces",))
+        METRICS.counter("par.phases", executor=self.name, phase="forces_local").inc()
+        METRICS.counter("par.phases", executor=self.name, phase="forces_nonlocal").inc()
+        return local, nonlocal_
 
     def close(self) -> None:
         if self._pool is not None:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.md.cells import periodic_cell_list
 from repro.md.forcefield import COULOMB_FACTOR, default_forcefield
-from repro.md.nonbonded import NonbondedKernel, pair_forces
+from repro.md.nonbonded import NonbondedKernel, PairBlock, block_forces, pair_forces
 
 
 @pytest.fixture(scope="module")
@@ -147,3 +147,123 @@ class TestBulk:
 
     def test_coulomb_factor_value(self):
         assert COULOMB_FACTOR == pytest.approx(138.935458)
+
+
+class TestSegmentReduction:
+    """The reduceat/bincount hot path against the add.at scatter reference.
+
+    Per-pair arithmetic in :func:`block_forces` keeps the exact evaluation
+    order of :func:`pair_forces`, so the only difference is the per-atom
+    accumulation order — results must agree to a few ulps of the largest
+    force component, on random buffered pair lists.
+    """
+
+    def _sorted_bulk(self, ff, n=250, seed=0, extra=0.2):
+        rng = np.random.default_rng(seed)
+        box = np.array([3.0, 3.0, 3.0])
+        side = int(np.ceil(n ** (1 / 3)))
+        idx = rng.choice(side**3, n, replace=False)
+        pos = np.stack([idx // side**2, (idx // side) % side, idx % side], axis=1)
+        pos = (pos + 0.5) * (3.0 / side) + rng.uniform(-0.05, 0.05, (n, 3))
+        pos = np.mod(pos, box)
+        tid = rng.integers(0, 3, n).astype(np.int32)
+        q = ff.charges_for(tid)
+        # Buffered radius: the list carries out-of-cutoff pairs the kernel
+        # must mask to zero, exactly like a Verlet-buffered list.
+        cl = periodic_cell_list(box, ff.cutoff + extra)
+        i, j = cl.pairs_within(pos, ff.cutoff + extra)
+        order = np.lexsort((j, i))
+        return pos, i[order], j[order], tid, q, box
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_forces_match_scatter_within_ulps(self, ff, seed):
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=seed)
+        f_ref, e_ref, c_ref = pair_forces(pos, i, j, tid, q, ff, box=box)
+        block = PairBlock(i, j, tid, q, ff, n_atoms=pos.shape[0])
+        f_blk, e_blk, c_blk = block_forces(pos, block, ff, box=box)
+        tol = 4.0 * np.spacing(np.abs(f_ref).max())
+        assert np.max(np.abs(f_blk - f_ref)) <= tol
+        assert e_blk == pytest.approx(e_ref, rel=1e-12)
+        assert c_blk == pytest.approx(c_ref, rel=1e-12)
+
+    def test_ewald_matches_scatter(self, ff):
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=7)
+        beta = 3.12
+        f_ref, e_ref, c_ref = pair_forces(
+            pos, i, j, tid, q, ff, box=box, coulomb="ewald", ewald_beta=beta
+        )
+        block = PairBlock(i, j, tid, q, ff, n_atoms=pos.shape[0])
+        f_blk, e_blk, c_blk = block_forces(
+            pos, block, ff, box=box, coulomb="ewald", ewald_beta=beta
+        )
+        tol = 4.0 * np.spacing(np.abs(f_ref).max())
+        assert np.max(np.abs(f_blk - f_ref)) <= tol
+        assert e_blk == pytest.approx(e_ref, rel=1e-12)
+        assert c_blk == pytest.approx(c_ref, rel=1e-12)
+
+    def test_group_key_partition_matches(self, ff):
+        """Group-key boundaries (the per-pulse partition) change only the
+        segment structure, never the result."""
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=3)
+        f_ref, e_ref, c_ref = pair_forces(pos, i, j, tid, q, ff, box=box)
+        # An arbitrary grouping: resort by (group, i) as pair_search does.
+        group = (np.arange(i.size) * 7919) % 3
+        order = np.lexsort((j, i, group))
+        gi, gj, gg = i[order], j[order], group[order]
+        block = PairBlock(gi, gj, tid, q, ff, n_atoms=pos.shape[0], group_key=gg)
+        # seg_i repeats across group boundaries; add.at on segment sums
+        # must still produce the right per-atom totals.
+        assert block.seg_i.size >= np.unique(gi).size
+        f_blk, e_blk, c_blk = block_forces(pos, block, ff, box=box)
+        tol = 8.0 * np.spacing(np.abs(f_ref).max())
+        assert np.max(np.abs(f_blk - f_ref)) <= tol
+        assert e_blk == pytest.approx(e_ref, rel=1e-12)
+        assert c_blk == pytest.approx(c_ref, rel=1e-12)
+
+    def test_unsorted_list_still_correct(self, ff):
+        """Correctness never depends on sortedness — only speed does."""
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=5, n=120)
+        rng = np.random.default_rng(11)
+        perm = rng.permutation(i.size)
+        f_ref, e_ref, c_ref = pair_forces(pos, i, j, tid, q, ff, box=box)
+        block = PairBlock(i[perm], j[perm], tid, q, ff, n_atoms=pos.shape[0])
+        f_blk, e_blk, c_blk = block_forces(pos, block, ff, box=box)
+        tol = 8.0 * np.spacing(np.abs(f_ref).max())
+        assert np.max(np.abs(f_blk - f_ref)) <= tol
+        assert e_blk == pytest.approx(e_ref, rel=1e-12)
+
+    def test_scratch_buffers_reused_across_steps(self, ff):
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=2, n=100)
+        block = PairBlock(i, j, tid, q, ff, n_atoms=pos.shape[0])
+        f1, e1, c1 = block_forces(pos, block, ff, box=box)
+        bufs = {name: id(arr) for name, arr in block._scratch.items()}
+        f2, e2, c2 = block_forces(pos, block, ff, box=box)
+        assert {name: id(arr) for name, arr in block._scratch.items()} == bufs
+        np.testing.assert_array_equal(f1, f2)
+        assert (e1, c1) == (e2, c2)
+
+    def test_kernel_compute_block_equivalent(self, ff):
+        pos, i, j, tid, q, box = self._sorted_bulk(ff, seed=9, n=100)
+        k = NonbondedKernel(ff)
+        block = k.make_block(i, j, tid, q, n_atoms=pos.shape[0])
+        f1, e1, c1 = k.compute_block(pos, block, box=box)
+        f2, e2, c2 = block_forces(pos, block, ff, box=box)
+        np.testing.assert_array_equal(f1, f2)
+        assert (e1, c1) == (e2, c2)
+
+    def test_empty_block(self, ff):
+        block = PairBlock(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.zeros(3, np.int32), np.zeros(3), ff, n_atoms=3,
+        )
+        pos = np.zeros((3, 3))
+        f, e, c = block_forces(pos, block, ff)
+        assert np.all(f == 0) and e == 0.0 and c == 0.0
+
+    def test_n_atoms_mismatch_raises(self, ff):
+        block = PairBlock(
+            np.array([0]), np.array([1]),
+            np.zeros(4, np.int32), np.zeros(4), ff, n_atoms=4,
+        )
+        with pytest.raises(ValueError, match="built for"):
+            block_forces(np.zeros((3, 3)), block, ff)

@@ -313,7 +313,7 @@ class TestEngineInstrumentation:
             TRACER.disable()
             TRACER.clear()
         assert {"dd.step", "dd.integrate", "dd.ns", "dd.halo_x", "dd.halo_f",
-                "dd.nonbonded"} <= spans
+                "dd.forces"} <= spans
         assert "comm.nvshmem.halo_x" in spans and "comm.nvshmem.halo_f" in spans
         steps = [s for s in TRACER.spans if s.name == "dd.step"]
         assert steps == []  # cleared in the finally block

@@ -5,7 +5,7 @@ import pytest
 
 from repro.md import default_forcefield, make_grappa_system
 from repro.md.nonbonded import pair_forces
-from repro.md.pairlist import VerletListBuilder
+from repro.md.pairlist import PairList, VerletListBuilder
 
 
 @pytest.fixture(scope="module")
@@ -107,3 +107,39 @@ class TestPrune:
             VerletListBuilder(box=sys_.box, cutoff=0.65, buffer=-0.1)
         with pytest.raises(ValueError):
             VerletListBuilder(box=sys_.box, cutoff=0.65, nstlist=0)
+
+
+class TestSortedInvariant:
+    """The segment-reduction invariant: lists are sorted by i, and stay so."""
+
+    def test_build_marks_sorted(self, setup):
+        _, sys_, builder = setup
+        pairs = builder.build(sys_.positions)
+        assert pairs.sorted_by_i
+        assert np.all(np.diff(pairs.i) >= 0)
+
+    def test_prune_preserves_sorted(self, setup):
+        _, sys_, builder = setup
+        pairs = builder.build(sys_.positions)
+        pruned = builder.prune(pairs, sys_.positions)
+        assert pruned.sorted_by_i
+        assert np.all(np.diff(pruned.i) >= 0)
+
+    def test_prune_restores_unsorted_input(self, setup):
+        _, sys_, builder = setup
+        pairs = builder.build(sys_.positions)
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(pairs.n_pairs)
+        shuffled = PairList(
+            i=pairs.i[perm], j=pairs.j[perm], r_list=pairs.r_list,
+            ref_positions=pairs.ref_positions,
+        )
+        assert not shuffled.sorted_by_i
+        pruned = builder.prune(shuffled, sys_.positions)
+        assert pruned.sorted_by_i
+        assert np.all(np.diff(pruned.i) >= 0)
+        # Re-sorting drops no pairs: the same set survives either way.
+        direct = builder.prune(pairs, sys_.positions)
+        assert set(zip(pruned.i.tolist(), pruned.j.tolist())) == set(
+            zip(direct.i.tolist(), direct.j.tolist())
+        )

@@ -185,21 +185,28 @@ class TestObservability:
             TRACER.clear()
         assert {"executor.dispatch", "executor.barrier"} <= names
         # Engine spans survive the refactor.
-        assert {"dd.step", "dd.ns", "dd.nonbonded", "dd.integrate"} <= names
+        assert {"dd.step", "dd.ns", "dd.forces", "dd.integrate"} <= names
 
     def test_phase_counters_increment(self, tiny_system, ff):
         from repro.obs.metrics import METRICS
 
         sim = DDSimulator(tiny_system, ff, n_ranks=2, executor="serial", buffer=0.12)
         with sim:
-            before = METRICS.counter(
-                "par.phases", executor="serial", phase="forces"
+            before_l = METRICS.counter(
+                "par.phases", executor="serial", phase="forces_local"
+            ).value
+            before_n = METRICS.counter(
+                "par.phases", executor="serial", phase="forces_nonlocal"
             ).value
             sim.run(2)
-            after = METRICS.counter(
-                "par.phases", executor="serial", phase="forces"
+            after_l = METRICS.counter(
+                "par.phases", executor="serial", phase="forces_local"
             ).value
-        assert after - before == 2
+            after_n = METRICS.counter(
+                "par.phases", executor="serial", phase="forces_nonlocal"
+            ).value
+        assert after_l - before_l == 2
+        assert after_n - before_n == 2
 
 
 class TestProcessExecutorLifecycle:
@@ -232,3 +239,70 @@ class TestProcessExecutorLifecycle:
         with pytest.raises(RuntimeError, match="bind"):
             ex.run("forces")
         ex.close()
+
+
+class TestSplitForces:
+    """The local/non-local force split and its comm–compute overlap."""
+
+    def test_split_partition_structure(self, tiny_system, ff):
+        sim = DDSimulator(tiny_system, ff, n_ranks=4, executor="serial", buffer=0.12)
+        with sim:
+            sim.prepare_step()
+            n_pulses = sim.cluster.plan.n_pulses
+            assert n_pulses >= 1
+            for ws in sim.executor._ws:
+                sp = ws.pairs
+                nh = ws.ns.n_home
+                assert sp is not None
+                # Local block: both atoms home on every pair.
+                assert np.all(sp.local.i < nh) and np.all(sp.local.j < nh)
+                # Non-local block: at least one halo atom per pair.
+                assert np.all(
+                    (sp.nonlocal_kernel.i >= nh) | (sp.nonlocal_kernel.j >= nh)
+                )
+                # Pulse partition covers the non-local list exactly, and
+                # each group's pairs depend on precisely that pulse.
+                po = sp.pulse_offsets
+                assert po[0] == 0 and po[-1] == sp.nonlocal_kernel.n_pairs
+                assert np.all(np.diff(po) >= 0)
+                assert len(po) == n_pulses + 1
+                src = ws.ns.src_pulse
+                for p in range(n_pulses):
+                    seg = slice(int(po[p]), int(po[p + 1]))
+                    req = np.maximum(
+                        src[sp.nonlocal_kernel.i[seg]],
+                        src[sp.nonlocal_kernel.j[seg]],
+                    )
+                    assert np.all(req == p)
+            w = sim.workloads[0]
+            assert sum(w.pulse_pair_counts) == w.n_pairs_nonlocal
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_overlap_flag_changes_nothing(self, tiny_system, ff, executor):
+        """overlap_comm=False (strict schedule) is bit-identical to the
+        overlapped default, which in turn is bit-identical to serial."""
+        ref = _run(tiny_system.copy(), ff, "serial")
+        out = _run(tiny_system.copy(), ff, executor, overlap_comm=False)
+        assert np.array_equal(ref["pos"], out["pos"])
+        assert np.array_equal(ref["forces"], out["forces"])
+        assert ref["energies"] == out["energies"]
+
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_overlap_metrics_recorded(self, tiny_system, ff, executor):
+        from repro.obs.metrics import METRICS
+
+        halo = METRICS.histogram("par.overlap.halo_us", executor=executor)
+        hidden = METRICS.histogram("par.overlap.hidden_us", executor=executor)
+        h0, hid0 = halo.count, hidden.count
+        _run(tiny_system.copy(), ff, executor, steps=4)
+        assert halo.count - h0 == 4
+        assert hidden.count - hid0 == 4
+        assert halo.sum >= 0.0 and hidden.sum >= 0.0
+
+    def test_no_scatter_fallback_in_dd_runs(self, tiny_system, ff):
+        from repro.obs.metrics import METRICS
+
+        fb = METRICS.counter("nonbonded.scatter_fallback")
+        before = fb.value
+        _run(tiny_system.copy(), ff, "process", steps=4)
+        assert fb.value == before
