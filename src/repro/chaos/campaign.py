@@ -1,0 +1,262 @@
+"""Campaign driver: seeded fault-injection runs, artifacts, and replay.
+
+A *case* is one short DD simulation under one :class:`FaultPlan` (and
+optionally a protocol mutation), with every invariant checked each step
+against a fault-free serial-reference trajectory.  A *campaign* runs M
+seeded cases for one backend, records ``chaos.*`` metrics through
+:mod:`repro.obs`, and shrinks the first failure to a minimal failing
+plan, dumped as a JSON artifact that :func:`replay_artifact` re-runs
+deterministically (``repro chaos --replay``).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.chaos.inject import ChaosInjector
+from repro.chaos.invariants import (
+    ChaosViolation,
+    check_bit_identity,
+    check_halo_partition,
+)
+from repro.chaos.mutations import apply_mutation
+from repro.chaos.plan import FaultPlan
+from repro.comm.scheduler import DeadlockError
+from repro.nvshmem.signals import SignalError
+from repro.obs.metrics import METRICS
+
+#: Artifact schema version, bumped on incompatible layout changes.
+ARTIFACT_VERSION = 1
+
+#: Exceptions a chaos case converts into recorded violations.  Anything
+#: else is a harness bug and propagates.
+_FAILURES = (ChaosViolation, SignalError, DeadlockError, FloatingPointError, AssertionError)
+
+
+@dataclass
+class ChaosConfig:
+    """The simulated system and backend one campaign runs against.
+
+    The default is the cheapest honest multi-pulse configuration: 1400
+    atoms on a 1x1x4 slab grid gives two z-pulses per rank (second
+    neighbour forwarding plus the depOffset dependency chain) in well
+    under a second per case.
+    """
+
+    backend: str = "nvshmem"
+    atoms: int = 1400
+    shape: tuple[int, int, int] = (1, 1, 4)
+    max_pulses: int = 2
+    steps: int = 3
+    nstlist: int = 2
+    buffer: float = 0.12
+    system_seed: int = 3
+    pes_per_node: int = 2  # nvshmem only: 1 = all-IB, n_ranks = all-NVLink
+    executor: str = "serial"
+    n_faults: int = 4
+
+    @property
+    def n_ranks(self) -> int:
+        return int(np.prod(self.shape))
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["shape"] = list(self.shape)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChaosConfig":
+        d = dict(d)
+        d["shape"] = tuple(d["shape"])
+        return cls(**d)
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one fault-injected run."""
+
+    plan: FaultPlan
+    violations: list[str] = field(default_factory=list)
+    steps_completed: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.violations)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a seeded campaign for one backend."""
+
+    config: ChaosConfig
+    runs: int = 0
+    failures: list[CaseResult] = field(default_factory=list)
+    artifact: dict | None = None
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failures)
+
+
+# -- building blocks -----------------------------------------------------------
+
+
+def _make_sim(cfg: ChaosConfig, backend=None, executor=None):
+    from repro.comm import NvshmemBackend, make_backend
+    from repro.dd import DDSimulator
+    from repro.dd.grid import DDGrid
+    from repro.md import default_forcefield, make_grappa_system
+
+    ff = default_forcefield(cutoff=0.65)
+    system = make_grappa_system(cfg.atoms, seed=cfg.system_seed, ff=ff, dtype=np.float64)
+    if backend is None:
+        if cfg.backend == "nvshmem":
+            backend = NvshmemBackend(pes_per_node=cfg.pes_per_node, seed=cfg.system_seed)
+        else:
+            backend = make_backend(cfg.backend)
+    sim = DDSimulator(
+        system,
+        ff,
+        grid=DDGrid(cfg.shape),
+        backend=backend,
+        executor=executor or cfg.executor,
+        nstlist=cfg.nstlist,
+        buffer=cfg.buffer,
+        max_pulses=cfg.max_pulses,
+    )
+    return system, sim, backend
+
+
+def reference_trajectory(cfg: ChaosConfig) -> list[np.ndarray]:
+    """Fault-free serial-reference positions after each step.
+
+    The bit-identity oracle: reference backend, serial executor, no
+    chaos.  Every backend/executor combination must reproduce it bit for
+    bit (the engine's own tests establish that without faults; the chaos
+    campaign asserts it *with* faults).
+    """
+    from repro.comm import make_backend
+
+    system, sim, _ = _make_sim(cfg, backend=make_backend("reference"), executor="serial")
+    out = []
+    with sim:
+        for _ in range(cfg.steps):
+            sim.step()
+            out.append(system.positions.copy())
+    return out
+
+
+def run_case(
+    cfg: ChaosConfig,
+    plan: FaultPlan,
+    mutation: str | None = None,
+    reference: list[np.ndarray] | None = None,
+) -> CaseResult:
+    """One fault-injected simulation with all invariants checked per step."""
+    if reference is None:
+        reference = reference_trajectory(cfg)
+    system, sim, backend = _make_sim(cfg)
+    result = CaseResult(plan=plan)
+    mut = apply_mutation(mutation) if mutation else nullcontext()
+    with mut, sim, ChaosInjector(plan, backend=backend) as inj:
+        for k in range(cfg.steps):
+            try:
+                sim.step()
+                result.violations.extend(inj.state.drain_violations())
+                if not result.violations:
+                    check_bit_identity(system.positions, reference[k], step=k)
+            except _FAILURES as err:
+                result.violations.append(f"step {k}: {type(err).__name__}: {err}")
+                result.violations.extend(inj.state.drain_violations())
+            if result.violations:
+                break
+            result.steps_completed += 1
+        if sim.cluster is not None and not result.violations:
+            try:
+                check_halo_partition(sim.cluster.plan)
+            except ChaosViolation as err:
+                result.violations.append(f"partition: {err}")
+    return result
+
+
+# -- campaigns and artifacts ---------------------------------------------------
+
+
+def make_artifact(
+    cfg: ChaosConfig, plan: FaultPlan, mutation: str | None, violations: list[str]
+) -> dict:
+    """The replayable record of a (shrunk) failing schedule."""
+    return {
+        "version": ARTIFACT_VERSION,
+        "config": cfg.to_dict(),
+        "plan": plan.to_dict(),
+        "mutation": mutation,
+        "violations": violations,
+    }
+
+
+def write_artifact(path: str, artifact: dict) -> str:
+    with open(path, "w") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def replay_artifact(path_or_dict) -> CaseResult:
+    """Deterministically re-run a dumped failing schedule."""
+    if isinstance(path_or_dict, dict):
+        artifact = path_or_dict
+    else:
+        with open(path_or_dict) as fh:
+            artifact = json.load(fh)
+    if artifact.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"artifact version {artifact.get('version')} != {ARTIFACT_VERSION}"
+        )
+    cfg = ChaosConfig.from_dict(artifact["config"])
+    plan = FaultPlan.from_dict(artifact["plan"])
+    METRICS.counter("chaos.replays").inc()
+    return run_case(cfg, plan, mutation=artifact.get("mutation"))
+
+
+def run_campaign(
+    cfg: ChaosConfig,
+    runs: int = 50,
+    seed0: int = 0,
+    mutation: str | None = None,
+    shrink: bool = True,
+    log=None,
+) -> CampaignResult:
+    """Run ``runs`` seeded fault plans; shrink and record the first failure."""
+    from repro.chaos.shrink import shrink_plan
+
+    reference = reference_trajectory(cfg)
+    result = CampaignResult(config=cfg)
+    for i in range(runs):
+        plan = FaultPlan.generate(
+            seed0 + i,
+            n_faults=cfg.n_faults,
+            n_ranks=cfg.n_ranks,
+            n_pulses=cfg.max_pulses,
+            backend=cfg.backend,
+        )
+        case = run_case(cfg, plan, mutation=mutation, reference=reference)
+        result.runs += 1
+        METRICS.counter("chaos.runs", backend=cfg.backend).inc()
+        if case.failed:
+            METRICS.counter("chaos.failures", backend=cfg.backend).inc()
+            if log is not None:
+                log.warning(
+                    "chaos[%s] seed %d FAILED: %s",
+                    cfg.backend, plan.seed, "; ".join(case.violations),
+                )
+            result.failures.append(case)
+            if result.artifact is None and shrink:
+                shrunk = shrink_plan(cfg, plan, mutation=mutation, reference=reference)
+                confirm = run_case(cfg, shrunk, mutation=mutation, reference=reference)
+                result.artifact = make_artifact(cfg, shrunk, mutation, confirm.violations)
+    return result

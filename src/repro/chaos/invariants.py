@@ -1,0 +1,88 @@
+"""Protocol invariants the chaos harness checks on every run.
+
+Four invariants, mirroring what the paper's protocol must guarantee under
+any interleaving (Sec. 4; Algorithms 3-6):
+
+* **Halo partition/coverage** — every non-local atom's coordinate is
+  delivered exactly once per exchange.  Exactly-once is enforced
+  structurally (the per-rank pulse receive ranges partition the halo
+  region, :func:`check_halo_partition`) plus dynamically (halo slots are
+  NaN-poisoned before the exchange and must all be finite after,
+  :func:`check_halo_coverage` — a pulse that never landed leaves NaN).
+* **Signal monotonicity** — per signal slot, stored values (epochs) only
+  increase (checked by the chaos state's store observer).
+* **depOffset ordering** — no dependent data is consumed before its
+  pulse's signal: every satisfied acquire-wait must be preceded by the
+  matching store (checked by the store/wait observers; a skipped fence
+  surfaces here even when the data race happens to resolve benignly).
+* **Bit-identity** — end-of-step positions equal the serial reference's
+  bit for bit (:func:`check_bit_identity`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ChaosViolation(AssertionError):
+    """A protocol invariant failed under fault injection."""
+
+
+def check_halo_partition(plan) -> None:
+    """Pulse receive ranges must exactly tile each rank's halo region.
+
+    Static half of exactly-once delivery: disjointness (no atom delivered
+    by two pulses) and completeness (no atom delivered by none).
+    """
+    for rp in plan.ranks:
+        spans = sorted((p.atom_offset, p.recv_size, p.pulse_id) for p in rp.pulses)
+        cursor = rp.n_home
+        for off, size, pid in spans:
+            if off != cursor:
+                raise ChaosViolation(
+                    f"rank {rp.rank}: pulse {pid} receives at offset {off}, "
+                    f"expected {cursor} (halo ranges must tile [n_home, n_local))"
+                )
+            cursor += size
+        if cursor != rp.n_local:
+            raise ChaosViolation(
+                f"rank {rp.rank}: pulse ranges cover up to {cursor}, "
+                f"but n_local is {rp.n_local}"
+            )
+
+
+def check_halo_coverage(cluster) -> None:
+    """Every poisoned halo slot must have been overwritten by the exchange.
+
+    Dynamic half of exactly-once delivery: run after an exchange whose
+    halo slots were NaN-poisoned first (``invalidate_halo_coords``).  Any
+    remaining NaN means a pulse's data never arrived — or arrived from a
+    source that itself read undelivered (poisoned) data.
+    """
+    for rp in cluster.plan.ranks:
+        halo = cluster.local_pos[rp.rank][rp.n_home:]
+        bad = ~np.isfinite(halo)
+        if np.any(bad):
+            rows = np.unique(np.nonzero(bad)[0])
+            raise ChaosViolation(
+                f"rank {rp.rank}: {rows.size} halo rows not delivered "
+                f"(first at local row {rp.n_home + int(rows[0])}): stale or "
+                f"missing pulse data survived the exchange"
+            )
+
+
+def check_bit_identity(positions: np.ndarray, reference: np.ndarray, step: int) -> None:
+    """End-of-step positions must equal the serial reference bit for bit."""
+    if positions.shape != reference.shape:
+        raise ChaosViolation(
+            f"step {step}: position array shape {positions.shape} != "
+            f"reference {reference.shape}"
+        )
+    if not np.array_equal(positions, reference):
+        diff = np.abs(positions - reference)
+        diff = np.where(np.isfinite(diff), diff, np.inf)
+        raise ChaosViolation(
+            f"step {step}: trajectory diverged from the serial reference "
+            f"(max |Δ| = {float(diff.max()):.3e} nm over "
+            f"{int(np.count_nonzero(diff))} coordinates)"
+        )

@@ -9,6 +9,7 @@ timeline   ASCII schedule timeline (Figs. 1-2 style)
 profile    cycle-accounting table + Chrome/Perfetto trace for one run
 figures    regenerate every paper figure + EXPERIMENTS.md (the harness)
 verify     functional check: DD + fused NVSHMEM exchange vs serial MD
+chaos      fault-injection campaigns for the halo protocol (repro.chaos)
 
 ``--trace out.json`` (on ``profile``, ``compare``, ``scaling``,
 ``verify``) writes a Chrome trace-event file: simulated schedules export
@@ -368,6 +369,88 @@ def cmd_verify(args) -> None:
     log.info("OK: fused NVSHMEM halo exchange is bit-consistent with serial MD")
 
 
+def cmd_chaos(args) -> None:
+    """Fault-injection campaigns (and artifact replay) for the halo stack."""
+    from repro.chaos import (
+        ChaosConfig,
+        replay_artifact,
+        run_campaign,
+        write_artifact,
+    )
+    from repro.obs.metrics import METRICS
+    from repro.obs.report import metrics_table
+
+    if args.replay:
+        res = replay_artifact(args.replay)
+        if res.failed:
+            log.info("replayed %s: failure reproduced", args.replay)
+            for v in res.violations:
+                log.info("  %s", v)
+            raise SystemExit(3)
+        log.info(
+            "replayed %s: no violation (%d steps clean) — the failure did "
+            "not reproduce", args.replay, res.steps_completed,
+        )
+        raise SystemExit(0)
+
+    try:
+        shape = tuple(int(x) for x in args.shape.split("x"))
+    except ValueError:
+        raise SystemExit(f"bad --shape '{args.shape}': use e.g. 1x1x4") from None
+    backends = (
+        ("reference", "mpi", "threadmpi", "nvshmem")
+        if args.backend == "all"
+        else (args.backend,)
+    )
+    tbl = Table(
+        columns=("backend", "runs", "failures", "first_failing_seed"),
+        title=f"chaos campaign: {args.runs} seeded fault plans per backend",
+    )
+    any_failed = False
+    artifact_written = None
+    for backend in backends:
+        cfg = ChaosConfig(
+            backend=backend,
+            atoms=args.atoms,
+            shape=shape,
+            max_pulses=args.max_pulses,
+            steps=args.steps,
+            pes_per_node=args.pes_per_node,
+            executor=args.executor,
+            n_faults=args.faults,
+        )
+        res = run_campaign(
+            cfg, runs=args.runs, seed0=args.seed, mutation=args.mutate, log=log
+        )
+        first = res.failures[0].plan.seed if res.failures else ""
+        tbl.add_row(backend, res.runs, len(res.failures), first)
+        if res.failed:
+            any_failed = True
+            if artifact_written is None and res.artifact is not None:
+                artifact_written = write_artifact(args.out, res.artifact)
+    log.info("%s", tbl.render())
+    log.debug("%s", metrics_table(METRICS, prefix="chaos").render())
+    if artifact_written:
+        log.warning(
+            "wrote shrunk failing schedule to %s (replay with: "
+            "repro chaos --replay %s)", artifact_written, artifact_written,
+        )
+    if args.expect_failure:
+        if not any_failed:
+            raise SystemExit(
+                "FAILED: --expect-failure set (mutation self-test) but no "
+                "violation was detected — the harness is vacuous"
+            )
+        log.info("OK: mutation was detected by the chaos harness")
+        return
+    if any_failed:
+        raise SystemExit("FAILED: chaos campaign detected protocol violations")
+    log.info(
+        "OK: %d fault-injected runs per backend, all bit-identical to the "
+        "serial reference", args.runs,
+    )
+
+
 def _maybe_write_graph_trace(args, graphs: dict) -> None:
     if getattr(args, "trace", None) and graphs:
         from repro.obs.export import write_chrome_trace
@@ -482,6 +565,38 @@ def main(argv: list[str] | None = None) -> None:
                    help="strict schedule (local forces, halo exchange, "
                         "non-local forces) with no comm-compute overlap")
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "chaos", parents=[common],
+        help="fault-injection campaigns for the halo protocol",
+    )
+    p.add_argument("--backend", default="all",
+                   choices=("reference", "mpi", "threadmpi", "nvshmem", "all"),
+                   help="halo backend(s) to fuzz")
+    p.add_argument("--runs", type=int, default=50,
+                   help="seeded fault plans per backend")
+    p.add_argument("--seed", type=int, default=0, help="first plan seed")
+    p.add_argument("--atoms", type=int, default=1400)
+    p.add_argument("--shape", default="1x1x4",
+                   help="DD grid (default 1x1x4: two z-pulses per rank)")
+    p.add_argument("--max-pulses", type=int, default=2)
+    p.add_argument("--steps", type=int, default=3, help="MD steps per case")
+    p.add_argument("--pes-per-node", type=int, default=2,
+                   help="nvshmem topology: 1 = all-IB, n_ranks = all-NVLink")
+    p.add_argument("--executor", **executor_flag)
+    p.add_argument("--faults", type=int, default=4, help="faults per plan")
+    p.add_argument("--mutate", default=None,
+                   help="apply a protocol mutation (self-test); see "
+                        "repro.chaos.mutations.MUTATIONS")
+    p.add_argument("--expect-failure", action="store_true",
+                   help="exit 0 only if a violation IS detected "
+                        "(mutation self-tests)")
+    p.add_argument("--out", default="chaos_failure.json",
+                   help="where to dump the shrunk failing-schedule artifact")
+    p.add_argument("--replay", default=None, metavar="ARTIFACT",
+                   help="replay a dumped failing schedule instead of "
+                        "running a campaign (exit 3 if it reproduces)")
+    p.set_defaults(fn=cmd_chaos)
 
     args = parser.parse_args(argv)
     configure(verbosity=args.verbose, quiet=args.quiet)

@@ -333,7 +333,16 @@ class NvshmemBackend(HaloBackend):
         hp = plan.ranks[holder].pulses[pid]
         nvlink = rt.topology.same_node(rank, holder)
         needs_data = not nvlink or not self._is_last_contributing(cluster, holder, pid)
-        yield lambda: self._force_sig.acquire_check(rank, pid, epoch, needs_data=needs_data)
+        # A rank's own accumulations must land in descending pulse order:
+        # two pulses' index_maps may share home rows, and floating-point
+        # accumulation order would otherwise depend on the schedule.  The
+        # reference exchange accumulates last-pulse-first; matching it here
+        # keeps trajectories bit-identical under any interleaving.
+        n_pulses = cluster.plan.n_pulses
+        yield lambda: (
+            all(acc_done[rank][q] for q in range(pid + 1, n_pulses))
+            and self._force_sig.acquire_check(rank, pid, epoch, needs_data=needs_data)
+        )
         if nvlink:
             block = rt.get(
                 self._forces, holder, hp.atom_offset, hp.recv_size, local_pe=rank

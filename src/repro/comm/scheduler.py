@@ -9,11 +9,20 @@ predicates hold, in a seeded-random order each round.
 Randomized scheduling is the point: property tests run the same exchange
 under many interleavings and assert bit-identical results — evidence that
 the dependency partitioning and signaling protocol (not scheduling luck)
-guarantee correctness.
+guarantee correctness.  Construction without an explicit ``rng`` self-seeds
+from :data:`DEFAULT_SEED`, so every run is a reproducible interleaving
+without caller boilerplate; pass ``np.random.default_rng(seed)`` to explore
+others.
 
 When no task can advance, the scheduler invokes ``on_stall`` (e.g. NVSHMEM
 proxy progress delivering delayed inter-node puts); if that yields nothing
 either, a :class:`DeadlockError` with per-task diagnostics is raised.
+
+Fault injection (see :mod:`repro.chaos`) hooks the scheduler through the
+class attribute ``_default_chaos``: when set, a runnable task is only
+resumed if the chaos state's ``allow_task`` admits it, and stalls consult
+``tick_stall`` before ``on_stall`` so injected delays cannot be mistaken
+for protocol deadlocks.
 """
 
 from __future__ import annotations
@@ -22,6 +31,13 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Iterable
 
 import numpy as np
+
+from repro.obs.metrics import METRICS
+
+#: Seed used when ``CooperativeScheduler`` is constructed without an rng.
+#: Documented so "the default interleaving" is a well-defined, citable
+#: schedule: ``np.random.default_rng(DEFAULT_SEED)``.
+DEFAULT_SEED = 0x5EED
 
 
 class DeadlockError(RuntimeError):
@@ -39,8 +55,12 @@ class _TaskState:
 class CooperativeScheduler:
     """Round-based cooperative executor with randomized task order."""
 
+    #: Installed by :class:`repro.chaos.inject.ChaosInjector`; consulted at
+    #: run() time so schedulers created before or after injection both see it.
+    _default_chaos = None
+
     def __init__(self, rng: np.random.Generator | None = None, max_rounds: int = 100_000):
-        self.rng = rng
+        self.rng = rng if rng is not None else np.random.default_rng(DEFAULT_SEED)
         self.max_rounds = max_rounds
         self.rounds_used = 0
 
@@ -50,6 +70,7 @@ class CooperativeScheduler:
         on_stall: Callable[[], bool] | None = None,
     ) -> int:
         """Drive all task generators to completion; returns rounds used."""
+        chaos = type(self)._default_chaos
         states = [_TaskState(name=n, gen=g) for n, g in tasks]
         # Prime every task to its first wait point.
         for st in states:
@@ -60,21 +81,29 @@ class CooperativeScheduler:
             if rounds > self.max_rounds:
                 raise DeadlockError(self._diagnose(states, "round limit exceeded"))
             order = np.arange(len(states))
-            if self.rng is not None:
-                self.rng.shuffle(order)
+            self.rng.shuffle(order)
             progressed = False
+            held = False
             for k in order:
                 st = states[k]
                 if st.done:
                     continue
                 if st.predicate is None or st.predicate():
+                    if chaos is not None and not chaos.allow_task(st.name):
+                        held = True
+                        continue
                     self._resume(st)
                     progressed = True
             if not progressed:
+                # Injected holds/hidden signals are progress-in-waiting, not
+                # deadlock: drain them before consulting the proxy.
+                if held or (chaos is not None and chaos.tick_stall()):
+                    continue
                 if on_stall is not None and on_stall():
                     continue
                 raise DeadlockError(self._diagnose(states, "no runnable task"))
         self.rounds_used = rounds
+        METRICS.histogram("comm.sched.rounds").observe(rounds)
         return rounds
 
     @staticmethod

@@ -89,6 +89,12 @@ class OpStats:
 class NvshmemRuntime:
     """All PEs of one job plus their symmetric heap and signal arrays."""
 
+    #: Installed by :class:`repro.chaos.inject.ChaosInjector`; consulted at
+    #: progress() time so runtimes created before or after injection both
+    #: see it.  A drop fault makes the proxy skip a pending op once and
+    #: requeue it at the back of the queue (a retried IB transport).
+    _default_chaos = None
+
     def __init__(
         self,
         topology: NodeTopology,
@@ -276,24 +282,37 @@ class NvshmemRuntime:
         """
         if not self._pending:
             return 0
+        chaos = NvshmemRuntime._default_chaos
         todo = self._pending if n_ops is None else self._pending[:n_ops]
         rest = [] if n_ops is None else self._pending[n_ops:]
         if order is not None:
             idx = order.permutation(len(todo))
             todo = [todo[k] for k in idx]
+        requeued: list[PendingOp] = []
         for op in todo:
-            op.deliver()
-        delivered = len(todo)
-        self._pending = rest
-        return delivered
+            if chaos is not None and chaos.drop_op(op):
+                requeued.append(op)
+            else:
+                op.deliver()
+        # A requeued (dropped-once) op counts as processed: the transport
+        # made progress (the retry is queued), so stall loops stay live.
+        processed = len(todo)
+        self._pending = rest + requeued
+        return processed
 
     @property
     def n_pending(self) -> int:
         return len(self._pending)
 
     def quiet(self) -> None:
-        """``nvshmem_quiet``: complete all outstanding operations."""
-        self.progress()
+        """``nvshmem_quiet``: complete all outstanding operations.
+
+        Loops because a dropped-then-requeued op (chaos drop fault) is
+        still outstanding after one progress pass; quiet must not return
+        while anything is pending.
+        """
+        while self._pending:
+            self.progress()
 
     def fence(self) -> None:
         """``nvshmem_fence``: order operations; with our FIFO proxy queue a

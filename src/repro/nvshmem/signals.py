@@ -34,6 +34,13 @@ class SignalArray:
     n_signals: int
     strict: bool = True
 
+    #: Installed by :class:`repro.chaos.inject.ChaosInjector`; consulted at
+    #: call time so arrays allocated before or after injection both see it.
+    #: The hooks let the chaos layer observe every store/wait (monotonicity
+    #: and store-before-wait invariants) and hide a set signal for a bounded
+    #: number of polls (reordered visibility).
+    _default_chaos = None
+
     def __post_init__(self) -> None:
         if self.n_pes < 1 or self.n_signals < 0:
             raise ValueError("n_pes must be >= 1 and n_signals >= 0")
@@ -54,12 +61,18 @@ class SignalArray:
 
     def release_store(self, pe: int, idx: int, value: int) -> None:
         """``st.release.sys``: value visible only after prior data writes."""
+        chaos = SignalArray._default_chaos
+        if chaos is not None:
+            chaos.on_store(self, pe, idx, value, released=True)
         self.values[pe, idx] = value
         self._released[pe, idx] = True
         self._m_stores.inc()
 
     def relaxed_store(self, pe: int, idx: int, value: int) -> None:
         """``st.relaxed.sys``: no ordering with prior data writes."""
+        chaos = SignalArray._default_chaos
+        if chaos is not None:
+            chaos.on_store(self, pe, idx, value, released=False)
         self.values[pe, idx] = value
         self._released[pe, idx] = False
         self._m_stores.inc()
@@ -68,7 +81,15 @@ class SignalArray:
 
     def is_set(self, pe: int, idx: int, value: int) -> bool:
         """Poll: has the slot reached ``value``? (cooperative acquire-wait)."""
-        return bool(self.values[pe, idx] == np.uint64(value))
+        hit = bool(self.values[pe, idx] == np.uint64(value))
+        if hit:
+            chaos = SignalArray._default_chaos
+            # A hide fault delays *visibility* of an already-landed store
+            # (store buffering / NIC completion reordering) for a bounded
+            # number of polls; the store itself is untouched.
+            if chaos is not None and chaos.hide_signal(self, pe, idx):
+                return False
+        return hit
 
     def acquire_check(self, pe: int, idx: int, value: int, needs_data: bool = True) -> bool:
         """Acquire-wait step: poll, verifying release pairing in strict mode.
@@ -81,6 +102,9 @@ class SignalArray:
         if not self.is_set(pe, idx, value):
             return False
         self._m_waits.inc()
+        chaos = SignalArray._default_chaos
+        if chaos is not None:
+            chaos.on_wait(self, pe, idx, value)
         if self.strict and needs_data and not self._released[pe, idx]:
             raise SignalError(
                 f"signal '{self.name}'[{idx}] on PE {pe} satisfied by a "

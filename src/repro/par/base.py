@@ -51,6 +51,14 @@ from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
 from repro.par.phases import FIELDS, PHASE_WRITES, PHASES, RankConfig, RankNsData
 
+#: Chaos instrumentation point (see :mod:`repro.chaos`): when set, the
+#: concurrent executors call ``phase_chaos(phase, rank)`` before running a
+#: rank's phase, letting fault plans perturb per-rank timing (a slow rank,
+#: a late worker) without changing any executor API.  ``None`` in
+#: production; the serial executor never calls it (it is the unperturbed
+#: bit-exactness reference).
+phase_chaos: Callable[[str, int], None] | None = None
+
 
 class RankExecutor(ABC):
     """Schedules per-rank phases over the cluster's rank set."""

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
+import repro.par.base as par_base
 from repro.par.base import RankExecutor, register_executor
 from repro.par.phases import FIELDS, PHASES, RankNsData, RankWorkspace
 
@@ -325,6 +326,12 @@ class ProcessExecutor(RankExecutor):
 
     def _dispatch(self, phase: str) -> Any:
         for w, my_ranks in enumerate(self._ranks_of):
+            # Workers live in other processes, so chaos perturbation acts on
+            # the parent-side dispatch: delaying a rank here staggers when
+            # its worker receives the phase request.
+            if par_base.phase_chaos is not None:
+                for rank in my_ranks:
+                    par_base.phase_chaos(phase, rank)
             self._request(w, ("run", phase, my_ranks))
         return None
 
@@ -369,6 +376,9 @@ class ProcessExecutor(RankExecutor):
             "executor.dispatch", cat="executor", executor=self.name, phase="forces_local"
         ):
             for w, my_ranks in enumerate(self._ranks_of):
+                if par_base.phase_chaos is not None:
+                    for rank in my_ranks:
+                        par_base.phase_chaos("forces_local", rank)
                 self._request(w, ("run", "forces_local", my_ranks))
         pending_nonlocal: list[list[int]] = [[] for _ in range(n_workers)]
         dispatched = [False] * self.n_ranks
@@ -377,6 +387,8 @@ class ProcessExecutor(RankExecutor):
             if dispatched[rank]:
                 return
             dispatched[rank] = True
+            if par_base.phase_chaos is not None:
+                par_base.phase_chaos("forces_nonlocal", rank)
             if not self.adopted:
                 # Mirror mode: the backend wrote this rank's fresh halo
                 # into the parent-side arrays; forward just its coordinates.

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.obs.metrics import METRICS
 from repro.obs.tracer import TRACER
+import repro.par.base as par_base
 from repro.par.base import RankExecutor, register_executor
 from repro.par.phases import PHASES, RankNsData, RankWorkspace
 
@@ -55,6 +56,8 @@ class ThreadExecutor(RankExecutor):
 
     def _run_rank(self, phase: str, rank: int) -> Any:
         fn = PHASES[phase]
+        if par_base.phase_chaos is not None:
+            par_base.phase_chaos(phase, rank)
         with TRACER.span("executor.rank", cat="executor", phase=phase, rank=rank):
             t0 = time.perf_counter_ns()
             result = fn(self._ws[rank])
