@@ -8,6 +8,14 @@ true-parallel rank execution; on a single core it degenerates to serial
 throughput plus IPC overhead, which the report makes visible rather than
 hiding.
 
+Every run appends one :class:`repro.obs.bench.BenchRecord` per executor
+to the *committed* history (default ``BENCH_step.json``): git sha and
+timestamp (pass ``--timestamp`` from CI), machine constants, per-phase
+breakdown, the ``par.rank_us`` load-imbalance summary, and the modeled
+energy estimate.  ``--check`` then gates the new records against each
+key's rolling baseline and exits non-zero on a >10% (``--threshold``)
+step-throughput regression — the CI perf gate.
+
 ``--phase-breakdown`` additionally reports, per executor, the time split
 between the ``forces_local`` and ``forces_nonlocal`` phases, the
 coordinate-halo wall time, how much of it the local force phase hid
@@ -19,10 +27,12 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_step.py                 # grappa-45k, 8 ranks
     PYTHONPATH=src python benchmarks/bench_step.py --system 3000 \
-        --ranks 4 --steps 5 --phase-breakdown --out BENCH_step.json  # CI smoke run
+        --ranks 4 --steps 5 --phase-breakdown --no-history         # CI smoke run
+    PYTHONPATH=src python benchmarks/bench_step.py --check \
+        --timestamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)"               # gated run
 
-Writes a JSON report (default ``BENCH_step.json``) with the machine
-context, per-executor timings, and speedups.
+Also writes a one-shot JSON report (default ``BENCH_report.json``) with
+the machine context, per-executor timings, and speedups.
 """
 
 from __future__ import annotations
@@ -31,7 +41,9 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 import numpy as np
@@ -39,7 +51,19 @@ import numpy as np
 from repro.dd import DDSimulator
 from repro.md import default_forcefield, make_grappa_system
 from repro.md.grappa import GRAPPA_SIZES
+from repro.obs.bench import (
+    DEFAULT_HISTORY,
+    DEFAULT_THRESHOLD,
+    DEFAULT_WINDOW,
+    BenchHistory,
+    BenchRecord,
+    check_regression,
+    regressions,
+)
 from repro.obs.metrics import METRICS
+from repro.par.imbalance import record_imbalance
+from repro.perf.energy import grappa_energy_report, model_scaling_efficiency
+from repro.perf.machines import machine_by_name
 
 
 def resolve_atoms(system: str) -> int:
@@ -53,6 +77,17 @@ def resolve_atoms(system: str) -> int:
             f"unknown system '{system}': use an atom count or one of "
             f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
         ) from None
+
+
+def detect_git_sha() -> str:
+    """Short sha of HEAD, or ``unknown`` outside a git checkout."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or "unknown"
+    except Exception:
+        return "unknown"
 
 
 def _phase_breakdown(executor: str, steps: int) -> dict:
@@ -89,8 +124,7 @@ def bench_executor(
         nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
     ) as sim:
         sim.step()  # warm-up: first neighbour search + pool spin-up
-        if phase_breakdown:
-            METRICS.reset()  # count only the timed steps
+        METRICS.reset()  # count only the timed steps (rank_us, overlap, ...)
         t0 = time.perf_counter()
         sim.run(steps)
         elapsed = time.perf_counter() - t0
@@ -102,10 +136,31 @@ def bench_executor(
         "steps_per_s": 1e3 / ms,
         "measured_steps": steps,
         "checksum": checksum,
+        "imbalance": record_imbalance(executor=executor),
     }
     if phase_breakdown:
         r["phase_breakdown"] = _phase_breakdown(executor, steps)
     return r
+
+
+def _energy_dict(args, n_atoms: int, result: dict) -> dict | None:
+    """Modeled energy/efficiency for one executor's record (None if no grid)."""
+    machine = machine_by_name(args.machine)
+    rep = grappa_energy_report(
+        n_atoms, args.ranks, machine, backend="nvshmem", publish=False
+    )
+    if rep is None:
+        return None
+    d = rep.as_dict()
+    d["model_parallel_efficiency"] = model_scaling_efficiency(
+        n_atoms, args.ranks, machine, backend="nvshmem"
+    )
+    speedup = result.get("speedup_vs_serial")
+    workers = min(args.ranks, os.cpu_count() or 1)
+    d["measured_parallel_efficiency"] = (
+        speedup / workers if speedup is not None and workers > 0 else None
+    )
+    return d
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -127,7 +182,30 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--no-overlap", action="store_true",
                         help="force the strict schedule (local, exchange, "
                              "non-local) on every executor")
-    parser.add_argument("--out", default="BENCH_step.json")
+    parser.add_argument("--machine", default="dgx-h100",
+                        help="modeled machine for the energy estimate")
+    parser.add_argument("--out", default="BENCH_report.json",
+                        help="one-shot JSON report path")
+    # -- history + regression gate -------------------------------------------
+    parser.add_argument("--history", default=DEFAULT_HISTORY,
+                        help="committed bench-history file to append to "
+                             f"(default: {DEFAULT_HISTORY})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not read or append the committed history")
+    parser.add_argument("--git-sha", default=None,
+                        help="record provenance (default: git rev-parse)")
+    parser.add_argument("--timestamp", default=None,
+                        help="record timestamp — CI passes its own; defaults "
+                             "to $BENCH_TIMESTAMP or the current UTC time")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit non-zero) when a new record regresses "
+                             "more than --threshold vs its rolling baseline")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional steps/s loss that fails --check "
+                             f"(default: {DEFAULT_THRESHOLD:.2f})")
+    parser.add_argument("--baseline-window", type=int, default=DEFAULT_WINDOW,
+                        help="records per key folded into the rolling baseline "
+                             f"(default: {DEFAULT_WINDOW})")
     args = parser.parse_args(argv)
 
     n_atoms = resolve_atoms(args.system)
@@ -168,6 +246,11 @@ def main(argv: list[str] | None = None) -> None:
                 print(f"  {r['executor']} speedup vs serial: "
                       f"{r['speedup_vs_serial']:.2f}x")
 
+    machine_ctx = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
     report = {
         "bench": "step_throughput",
         "system": args.system,
@@ -177,9 +260,7 @@ def main(argv: list[str] | None = None) -> None:
         "steps": args.steps,
         "nstlist": args.nstlist,
         "overlap_comm": not args.no_overlap,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
+        **machine_ctx,
         "results": results,
     }
     out = Path(args.out)
@@ -195,6 +276,62 @@ def main(argv: list[str] | None = None) -> None:
                 f"FAILED: segment-reduction kernel fell back to the "
                 f"np.add.at scatter path {fallbacks} time(s)"
             )
+
+    if args.no_history:
+        return
+
+    # -- committed history + regression gate ----------------------------------
+    git_sha = args.git_sha or detect_git_sha()
+    timestamp = (
+        args.timestamp
+        or os.environ.get("BENCH_TIMESTAMP")
+        or datetime.now(timezone.utc).isoformat(timespec="seconds")
+    )
+    history = BenchHistory.load(args.history)
+    new_records = []
+    for r in results:
+        energy = _energy_dict(args, n_atoms, r)
+        new_records.append(
+            BenchRecord(
+                git_sha=git_sha,
+                timestamp=timestamp,
+                system=args.system,
+                n_atoms=n_atoms,
+                ranks=args.ranks,
+                backend=args.backend,
+                executor=r["executor"],
+                overlap_comm=not args.no_overlap,
+                steps=args.steps,
+                ms_per_step=r["ms_per_step"],
+                steps_per_s=r["steps_per_s"],
+                machine=machine_ctx,
+                phase_breakdown=r.get("phase_breakdown"),
+                imbalance=r.get("imbalance"),
+                energy=energy,
+            )
+        )
+    # Gate against the pre-append store so no record compares to itself,
+    # but save first: a failing run must still leave its evidence behind.
+    gate = check_regression(
+        history, new_records,
+        threshold=args.threshold, window=args.baseline_window,
+    )
+    for rec in new_records:
+        history.append(rec)
+    history.save()
+    print(f"appended {len(new_records)} record(s) to {history.path} "
+          f"({len(history.records)} total)")
+    for g in gate:
+        print(f"  gate: {g.describe()}")
+    if args.check:
+        failed = regressions(gate)
+        if failed:
+            raise SystemExit(
+                f"FAILED: {len(failed)} record(s) regress more than "
+                f"{args.threshold:.0%} vs the rolling baseline "
+                f"(window {args.baseline_window})"
+            )
+        print(f"OK: no step-throughput regression beyond {args.threshold:.0%}")
 
 
 if __name__ == "__main__":

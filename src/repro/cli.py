@@ -8,6 +8,8 @@ timings    device-side timing breakdown (Figs. 6-8 style)
 timeline   ASCII schedule timeline (Figs. 1-2 style)
 profile    cycle-accounting table + Chrome/Perfetto trace for one run
 figures    regenerate every paper figure + EXPERIMENTS.md (the harness)
+report     standing perf/energy dashboard: figure freshness, bench trends,
+           load imbalance, energy estimates (``--check`` gates CI)
 verify     functional check: DD + fused NVSHMEM exchange vs serial MD
 chaos      fault-injection campaigns for the halo protocol (repro.chaos)
 
@@ -274,6 +276,16 @@ def cmd_profile(args) -> None:
         t.time_per_step, ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
         t.local_work, t.nonlocal_work, t.non_overlap,
     )
+    if args.backend in ("mpi", "nvshmem", "threadmpi"):
+        from repro.perf.energy import energy_report
+
+        e = energy_report(wl, machine, backend=args.backend)
+        log.info(
+            "energy model: %.0f W across %d GPUs (busy %.0f%%) -> %.3f J/step, "
+            "%.3f ns/day/W",
+            e.watts, args.ranks, 100.0 * e.busy_frac, e.j_per_step,
+            e.ns_day_per_w,
+        )
     if args.trace:
         path = write_chrome_trace(
             args.trace,
@@ -302,10 +314,17 @@ def cmd_profile(args) -> None:
 
 
 def cmd_figures(args) -> None:
-    from repro.harness.runner import check_results, run_all, write_experiments_md
+    from repro.harness.runner import (
+        figure_status,
+        figure_status_table,
+        run_all,
+        write_experiments_md,
+    )
 
     if args.check:
-        drift = check_results(args.out)
+        statuses = figure_status(args.out)
+        log.info("%s", figure_status_table(statuses).render())
+        drift = [line for s in statuses if (line := s.drift_line()) is not None]
         if drift:
             for line in drift:
                 log.error("DRIFT %s", line)
@@ -318,6 +337,42 @@ def cmd_figures(args) -> None:
     results = run_all(args.out, verbose=not args.quiet)
     write_experiments_md(args.md, results)
     log.info("wrote %s and CSVs under %s/", args.md, args.out)
+
+
+def cmd_report(args) -> None:
+    """Render the standing perf/energy dashboard; gate it with ``--check``."""
+    from repro.obs.dashboard import (
+        build_report,
+        render_markdown,
+        report_problems,
+        write_report,
+    )
+
+    data = build_report(
+        results_dir=args.results,
+        history_path=args.history,
+        threshold=args.threshold,
+        window=args.baseline_window,
+    )
+    md = render_markdown(data)
+    log.info("%s", md)
+    written = write_report(
+        data,
+        md_path=args.out,
+        json_path=args.json,
+    )
+    for p in written:
+        log.info("wrote %s", p)
+    if args.check:
+        problems = report_problems(data)
+        if problems:
+            for p in problems:
+                log.error("REPORT %s", p)
+            raise SystemExit(
+                f"report --check: {len(problems)} problem(s) — stale figures "
+                f"or missing/regressed bench history"
+            )
+        log.info("OK: figures fresh, bench history present, gates green")
 
 
 def cmd_verify(args) -> None:
@@ -552,6 +607,27 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--check", action="store_true",
                    help="regenerate in-memory and fail on drift vs committed CSVs")
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "report", parents=[common],
+        help="standing perf/energy dashboard over committed figures + bench history",
+    )
+    p.add_argument("--results", default="results",
+                   help="committed figure CSV directory (default: results)")
+    p.add_argument("--history", default="BENCH_step.json",
+                   help="committed bench history (default: BENCH_step.json)")
+    p.add_argument("--out", default=None, metavar="REPORT_MD",
+                   help="also write the rendered markdown here")
+    p.add_argument("--json", default=None, metavar="REPORT_JSON",
+                   help="also write the raw report data as JSON here")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="fractional throughput loss that fails the bench gate")
+    p.add_argument("--baseline-window", type=int, default=5,
+                   help="records per key folded into the rolling baseline")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero on stale/missing figures, missing "
+                        "history, or a gated regression in the latest records")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("verify", parents=[common], help="functional DD-vs-serial check")
     p.add_argument("--atoms", type=int, default=3000)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.harness.experiments import EXPERIMENTS, Experiment
@@ -47,6 +48,87 @@ def _csv_text(tbl: Table) -> str:
     return buf.getvalue()
 
 
+@dataclass(frozen=True)
+class FigureStatus:
+    """Regeneration status of one committed figure CSV."""
+
+    exp_id: str
+    paper_element: str  # "Figure 3", "Ablation", ...
+    source_csv: str  # the committed data source
+    status: str  # "fresh" | "stale" | "missing"
+    detail: str = ""  # first-diff locator for stale figures
+
+    @property
+    def action(self) -> str:
+        """What a maintainer must do to restore freshness."""
+        if self.status == "fresh":
+            return ""
+        return "run `repro figures` and commit the refreshed CSV"
+
+    def drift_line(self) -> str | None:
+        """The legacy ``check_results`` description (None when fresh)."""
+        if self.status == "missing":
+            return f"{self.exp_id}: committed CSV {self.source_csv} is missing"
+        if self.status == "stale":
+            return (
+                f"{self.exp_id}: regenerated table drifts from "
+                f"{self.source_csv}{self.detail}"
+            )
+        return None
+
+
+def figure_status(out_dir: str | Path = "results") -> list[FigureStatus]:
+    """Regenerate every experiment in-memory and grade it against its CSV.
+
+    One row per registered experiment: ``fresh`` (regenerated table
+    matches the committed CSV byte for byte), ``stale`` (it drifted; the
+    detail pins the first differing line), or ``missing`` (no committed
+    CSV at all).  This is the source table for both ``figures --check``
+    and the ``repro report`` dashboard.
+    """
+    out_dir = Path(out_dir)
+    statuses: list[FigureStatus] = []
+    for exp_id, exp in EXPERIMENTS.items():
+        expected_path = out_dir / f"{exp_id}.csv"
+        if not expected_path.exists():
+            statuses.append(
+                FigureStatus(exp_id, exp.paper_element, str(expected_path), "missing")
+            )
+            continue
+        # Normalize newlines: csv.writer emits \r\n, text-mode reads fold it.
+        regenerated = _csv_text(run_experiment(exp_id)).replace("\r\n", "\n")
+        committed = expected_path.read_text().replace("\r\n", "\n")
+        if regenerated == committed:
+            statuses.append(
+                FigureStatus(exp_id, exp.paper_element, str(expected_path), "fresh")
+            )
+            continue
+        reg_lines = regenerated.splitlines()
+        com_lines = committed.splitlines()
+        detail = ""
+        for k, (a, b) in enumerate(zip(com_lines, reg_lines)):
+            if a != b:
+                detail = f" (first diff at line {k + 1}: {a!r} -> {b!r})"
+                break
+        else:
+            detail = f" (row count {len(com_lines)} -> {len(reg_lines)})"
+        statuses.append(
+            FigureStatus(exp_id, exp.paper_element, str(expected_path), "stale", detail)
+        )
+    return statuses
+
+
+def figure_status_table(statuses: list[FigureStatus]) -> Table:
+    """The per-figure status rows as one harness table."""
+    tbl = Table(
+        columns=("figure", "paper_element", "source_csv", "status", "action"),
+        title="figure regeneration status",
+    )
+    for s in statuses:
+        tbl.add_row(s.exp_id, s.paper_element, s.source_csv, s.status, s.action)
+    return tbl
+
+
 def check_results(out_dir: str | Path = "results") -> list[str]:
     """Regenerate every experiment in-memory and diff against committed CSVs.
 
@@ -54,28 +136,11 @@ def check_results(out_dir: str | Path = "results") -> list[str]:
     the CI guard: any model or schedule change that silently shifts a
     figure shows up as a non-empty result.
     """
-    out_dir = Path(out_dir)
-    drift: list[str] = []
-    for exp_id in EXPERIMENTS:
-        expected_path = out_dir / f"{exp_id}.csv"
-        if not expected_path.exists():
-            drift.append(f"{exp_id}: committed CSV {expected_path} is missing")
-            continue
-        # Normalize newlines: csv.writer emits \r\n, text-mode reads fold it.
-        regenerated = _csv_text(run_experiment(exp_id)).replace("\r\n", "\n")
-        committed = expected_path.read_text().replace("\r\n", "\n")
-        if regenerated != committed:
-            reg_lines = regenerated.splitlines()
-            com_lines = committed.splitlines()
-            detail = ""
-            for k, (a, b) in enumerate(zip(com_lines, reg_lines)):
-                if a != b:
-                    detail = f" (first diff at line {k + 1}: {a!r} -> {b!r})"
-                    break
-            else:
-                detail = f" (row count {len(com_lines)} -> {len(reg_lines)})"
-            drift.append(f"{exp_id}: regenerated table drifts from {expected_path}{detail}")
-    return drift
+    return [
+        line
+        for s in figure_status(out_dir)
+        if (line := s.drift_line()) is not None
+    ]
 
 
 def _comparison_section(exp: Experiment, tbl: Table) -> str:

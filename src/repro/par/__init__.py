@@ -24,6 +24,11 @@ from repro.par.base import (
     make_executor,
     register_executor,
 )
+from repro.par.imbalance import (
+    imbalance_pct,
+    record_imbalance,
+    summarize_imbalance,
+)
 from repro.par.phases import (
     FIELDS,
     PHASE_WRITES,
@@ -50,6 +55,9 @@ __all__ = [
     "SplitPairs",
     "ThreadExecutor",
     "executor_registry",
+    "imbalance_pct",
     "make_executor",
+    "record_imbalance",
     "register_executor",
+    "summarize_imbalance",
 ]

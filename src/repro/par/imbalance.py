@@ -1,0 +1,93 @@
+"""Load-imbalance summaries over the ``par.rank_us`` histograms.
+
+Every executor records each rank's per-phase wall time into the
+``par.rank_us`` histogram (labels ``executor=..., phase=...``).  This
+module folds those distributions into the number GROMACS prints at the
+end of every log: the *load imbalance*, ``100 * (max / mean - 1)`` —
+how much longer the slowest rank ran than the average, i.e. the fraction
+of the force-phase budget the bulk-synchronous step wastes waiting.
+Andersson et al.'s GROMACS breakdown (PAPERS.md) identifies exactly this
+term as first-order at scale, which is why the bench history and the
+``repro report`` dashboard carry it per record.
+
+The summary is computed from the histogram over *all* observed steps, so
+it is the run-averaged imbalance (a persistent straggler shows up; a
+single slow step is diluted).  The chaos layer's ``perturb_phase`` fault
+is the synthetic straggler used to validate the metric end to end.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import METRICS, Histogram, MetricsRegistry
+
+#: Key under which summaries are published back into the registry.
+GAUGE_PREFIX = "par.imbalance"
+
+
+def imbalance_pct(mean_us: float, max_us: float) -> float:
+    """GROMACS-style load imbalance: how far the slowest rank trails the mean."""
+    if mean_us <= 0.0:
+        return 0.0
+    return 100.0 * (max_us / mean_us - 1.0)
+
+
+def summarize_imbalance(
+    registry: MetricsRegistry = METRICS, executor: str | None = None
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Per-executor, per-phase imbalance from the ``par.rank_us`` histograms.
+
+    Returns ``{executor: {phase: {count, mean_us, max_us, imbalance_pct}}}``
+    plus an ``"overall"`` phase per executor aggregating across phases as
+    ``sum(max) / sum(mean)`` — the step-level imbalance if every phase's
+    straggler were the same rank (the pessimistic bound GROMACS' DLB
+    reacts to).  Executors with no observations are absent.
+    """
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for name, labels, m in registry.collect("par.rank_us"):
+        if name != "par.rank_us" or not isinstance(m, Histogram) or not m.count:
+            continue
+        lab = dict(labels)
+        exe, phase = lab.get("executor", "?"), lab.get("phase", "?")
+        if executor is not None and exe != executor:
+            continue
+        out.setdefault(exe, {})[phase] = {
+            "count": float(m.count),
+            "mean_us": m.mean,
+            "max_us": m.max,
+            "imbalance_pct": imbalance_pct(m.mean, m.max),
+        }
+    for exe, phases in out.items():
+        tot_mean = sum(p["mean_us"] for p in phases.values())
+        tot_max = sum(p["max_us"] for p in phases.values())
+        phases["overall"] = {
+            "count": sum(p["count"] for p in phases.values()),
+            "mean_us": tot_mean,
+            "max_us": tot_max,
+            "imbalance_pct": imbalance_pct(tot_mean, tot_max),
+        }
+    return out
+
+
+def record_imbalance(
+    registry: MetricsRegistry = METRICS, executor: str | None = None
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Summarize and publish gauges back into the registry.
+
+    Publishes ``par.imbalance.pct`` / ``.mean_us`` / ``.max_us`` gauges
+    labelled by executor and phase, so the imbalance shows up in
+    ``metrics_table`` dumps and mdlog footers alongside the raw
+    histograms.  Returns the summary.
+    """
+    summary = summarize_imbalance(registry, executor)
+    for exe, phases in summary.items():
+        for phase, s in phases.items():
+            registry.gauge(f"{GAUGE_PREFIX}.pct", executor=exe, phase=phase).set(
+                s["imbalance_pct"]
+            )
+            registry.gauge(f"{GAUGE_PREFIX}.mean_us", executor=exe, phase=phase).set(
+                s["mean_us"]
+            )
+            registry.gauge(f"{GAUGE_PREFIX}.max_us", executor=exe, phase=phase).set(
+                s["max_us"]
+            )
+    return summary

@@ -56,10 +56,14 @@ class ThreadExecutor(RankExecutor):
 
     def _run_rank(self, phase: str, rank: int) -> Any:
         fn = PHASES[phase]
-        if par_base.phase_chaos is not None:
-            par_base.phase_chaos(phase, rank)
         with TRACER.span("executor.rank", cat="executor", phase=phase, rank=rank):
             t0 = time.perf_counter_ns()
+            # Chaos perturbation inside the timed window: an injected
+            # straggler lengthens this rank's phase the way a genuinely slow
+            # rank would, so ``par.rank_us`` (and the imbalance summary built
+            # on it) sees the fault.
+            if par_base.phase_chaos is not None:
+                par_base.phase_chaos(phase, rank)
             result = fn(self._ws[rank])
             METRICS.histogram("par.rank_us", executor=self.name, phase=phase).observe(
                 (time.perf_counter_ns() - t0) / 1000.0

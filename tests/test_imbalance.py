@@ -1,0 +1,101 @@
+"""Load-imbalance summaries from ``par.rank_us``, incl. a chaos straggler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosInjector, Fault, FaultPlan
+from repro.dd import DDSimulator
+from repro.md import make_grappa_system
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.par.imbalance import imbalance_pct, record_imbalance, summarize_imbalance
+
+
+class TestImbalanceMath:
+    def test_zero_mean_is_zero(self):
+        assert imbalance_pct(0.0, 100.0) == 0.0
+
+    def test_balanced_is_zero(self):
+        assert imbalance_pct(100.0, 100.0) == 0.0
+
+    def test_gromacs_formula(self):
+        # ranks [100, 100, 100, 180]: mean 120, max 180 -> 50% imbalance
+        assert imbalance_pct(120.0, 180.0) == pytest.approx(50.0)
+
+    def test_summary_from_synthetic_histograms(self):
+        reg = MetricsRegistry()
+        for us in (100.0, 100.0, 100.0, 180.0):
+            reg.histogram("par.rank_us", executor="thread", phase="forces_local").observe(us)
+        for us in (50.0, 50.0):
+            reg.histogram("par.rank_us", executor="thread", phase="pairs").observe(us)
+        summary = summarize_imbalance(reg)
+        fl = summary["thread"]["forces_local"]
+        assert fl["count"] == 4
+        assert fl["mean_us"] == pytest.approx(120.0)
+        assert fl["max_us"] == pytest.approx(180.0)
+        assert fl["imbalance_pct"] == pytest.approx(50.0)
+        assert summary["thread"]["pairs"]["imbalance_pct"] == 0.0
+        # overall: sum(max)/sum(mean) = 230/170 -> ~35.3%
+        overall = summary["thread"]["overall"]
+        assert overall["imbalance_pct"] == pytest.approx(100.0 * (230.0 / 170.0 - 1.0))
+
+    def test_executor_filter_and_empty(self):
+        reg = MetricsRegistry()
+        assert summarize_imbalance(reg) == {}
+        reg.histogram("par.rank_us", executor="serial", phase="pairs").observe(10.0)
+        assert "serial" not in summarize_imbalance(reg, executor="thread")
+        assert "serial" in summarize_imbalance(reg, executor="serial")
+
+    def test_record_publishes_gauges(self):
+        reg = MetricsRegistry()
+        reg.histogram("par.rank_us", executor="serial", phase="pairs").observe(10.0)
+        summary = record_imbalance(reg)
+        gauges = {
+            (name, dict(labels)["phase"]): inst.value
+            for name, labels, inst in reg.collect("par.imbalance")
+        }
+        assert gauges[("par.imbalance.pct", "pairs")] == summary["serial"]["pairs"]["imbalance_pct"]
+        assert gauges[("par.imbalance.mean_us", "overall")] == pytest.approx(10.0)
+
+
+class TestChaosStraggler:
+    """A chaos-injected straggler rank must surface in the imbalance metric."""
+
+    def run_steps(self, ff, straggle: bool) -> dict:
+        METRICS.reset()
+        system = make_grappa_system(1400, seed=11, ff=ff)
+        plan = FaultPlan(seed=0)
+        if straggle:
+            # Rank 0's forces_local sleeps ~2 ms every step — an order of
+            # magnitude above the phase's genuine cost at this system size.
+            plan.faults.append(
+                Fault("perturb_phase", target="forces_local", rank=0, delay_us=2000.0)
+            )
+        with ChaosInjector(plan):
+            sim = DDSimulator(
+                system, ff, n_ranks=4, executor="thread", nstlist=3, buffer=0.12
+            )
+            with sim:
+                sim.run(3)
+        return summarize_imbalance(executor="thread")
+
+    def test_straggler_dominates_forces_local(self, ff):
+        summary = self.run_steps(ff, straggle=True)
+        fl = summary["thread"]["forces_local"]
+        assert fl["count"] == 12  # 4 ranks x 3 steps
+        # rank 0 carries +2000 us every step; mean gains only +500 us,
+        # so imbalance is large even with timer noise on a loaded host.
+        assert fl["max_us"] >= 2000.0
+        assert fl["imbalance_pct"] > 50.0
+        assert summary["thread"]["overall"]["imbalance_pct"] > 10.0
+
+    def test_gauges_cover_the_straggler(self, ff):
+        self.run_steps(ff, straggle=True)
+        record_imbalance(executor="thread")
+        published = {
+            dict(labels)["phase"]: inst.value
+            for name, labels, inst in METRICS.collect("par.imbalance.pct")
+            if dict(labels)["executor"] == "thread"
+        }
+        assert published["forces_local"] > 50.0
+        assert "overall" in published
