@@ -48,9 +48,9 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.dd import DDSimulator
+from repro.dd import DDSimulator, resolve_backend_executor
 from repro.md import default_forcefield, make_grappa_system
-from repro.md.grappa import GRAPPA_SIZES
+from repro.md.grappa import resolve_atoms as _resolve_atoms
 from repro.obs.bench import (
     DEFAULT_HISTORY,
     DEFAULT_THRESHOLD,
@@ -67,16 +67,11 @@ from repro.perf.machines import machine_by_name
 
 
 def resolve_atoms(system: str) -> int:
-    label = system[len("grappa-"):] if system.startswith("grappa-") else system
-    if label in GRAPPA_SIZES:
-        return GRAPPA_SIZES[label]
+    """CLI-flavoured :func:`repro.md.grappa.resolve_atoms` (exits, not raises)."""
     try:
-        return int(label)
-    except ValueError:
-        raise SystemExit(
-            f"unknown system '{system}': use an atom count or one of "
-            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
-        ) from None
+        return _resolve_atoms(system)
+    except ValueError as err:
+        raise SystemExit(str(err)) from None
 
 
 def detect_git_sha() -> str:
@@ -117,10 +112,14 @@ def bench_executor(
     phase_breakdown: bool = False, overlap: bool = True,
 ) -> dict:
     """Steady-state ms/step for one executor (first step excluded)."""
+    try:
+        backend_obj, executor_obj = resolve_backend_executor(backend, executor)
+    except ValueError as err:
+        raise SystemExit(str(err)) from None
     ff = default_forcefield(cutoff=0.65)
     system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
     with DDSimulator(
-        system, ff, n_ranks=ranks, backend=backend, executor=executor,
+        system, ff, n_ranks=ranks, backend=backend_obj, executor=executor_obj,
         nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
     ) as sim:
         sim.step()  # warm-up: first neighbour search + pool spin-up

@@ -13,14 +13,37 @@ Two layers:
   the GPU-resident step schedules (the paper's Figs. 1-2), calibrated to
   the published device-side timings, regenerating every evaluation figure.
 
+A third layer, **service** (:mod:`repro.serve`), runs many functional
+jobs concurrently behind one frozen :class:`~repro.serve.spec.SimulationSpec`
+API — the same spec executes blocking (``DDSimulator.from_spec`` /
+``submit_and_wait``) or on a ``repro serve`` instance over JSON-RPC, with
+derived artifacts cached across jobs.
+
 Quickstart::
 
     from repro import quick_compare
     print(quick_compare("45k", gpus=4).render())
+
+    from repro import SimulationSpec, submit_and_wait
+    result = submit_and_wait(SimulationSpec(system="45k", steps=10, ranks=8))
+
+Public API
+----------
+
+Everything in ``__all__`` below is the supported surface; the documented
+way to pick a backend/executor is by registry name (``backend="nvshmem"``,
+``executor="process"``) or via :class:`SimulationSpec` — passing them as
+positional :class:`DDSimulator` arguments is deprecated.
 """
 
 from repro.comm import MpiBackend, NvshmemBackend, ThreadMpiBackend, make_backend
-from repro.dd import DDGrid, DDSimulator, DomainDecomposition, build_halo_plan
+from repro.dd import (
+    DDGrid,
+    DDSimulator,
+    DomainDecomposition,
+    build_halo_plan,
+    resolve_backend_executor,
+)
 from repro.md import ReferenceSimulator, default_forcefield, make_grappa_system
 from repro.perf import (
     DGX_H100,
@@ -30,32 +53,42 @@ from repro.perf import (
     grappa_workload,
     simulate_step,
 )
+from repro.serve import JobEngine, ServeClient, SimulationSpec, submit_and_wait
 from repro.util.tables import Table
 from repro.util.units import ms_per_step_to_ns_per_day
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # functional layer
     "DDGrid",
     "DDSimulator",
-    "DGX_H100",
     "DomainDecomposition",
-    "EOS",
-    "GB200_NVL72",
     "MpiBackend",
     "NvshmemBackend",
     "ReferenceSimulator",
-    "Table",
     "ThreadMpiBackend",
     "build_halo_plan",
     "default_forcefield",
-    "estimate_step",
-    "grappa_workload",
     "make_backend",
     "make_grappa_system",
-    "ms_per_step_to_ns_per_day",
+    "resolve_backend_executor",
+    # timing layer
+    "DGX_H100",
+    "EOS",
+    "GB200_NVL72",
+    "estimate_step",
+    "grappa_workload",
     "quick_compare",
     "simulate_step",
+    # service layer
+    "JobEngine",
+    "ServeClient",
+    "SimulationSpec",
+    "submit_and_wait",
+    # utilities
+    "Table",
+    "ms_per_step_to_ns_per_day",
 ]
 
 

@@ -74,6 +74,33 @@ class ChaosConfig:
         d["shape"] = tuple(d["shape"])
         return cls(**d)
 
+    def to_spec(self, fault_plan: FaultPlan | None = None):
+        """The equivalent :class:`repro.serve.spec.SimulationSpec`.
+
+        ``spec.seed`` carries the *system* seed (plan seeds travel inside
+        the embedded ``fault_plan``), so the spec builds the same system
+        and NVSHMEM topology this config does.
+        """
+        # Imported here, not at module level: serve.spec imports
+        # chaos.plan, whose package __init__ pulls this module back in.
+        from repro.serve.spec import SimulationSpec
+
+        return SimulationSpec(
+            kind="chaos",
+            system=str(self.atoms),
+            steps=self.steps,
+            shape=tuple(self.shape),
+            max_pulses=self.max_pulses,
+            backend=self.backend,
+            executor=self.executor,
+            pes_per_node=self.pes_per_node,
+            nstlist=self.nstlist,
+            buffer=self.buffer,
+            seed=self.system_seed,
+            n_faults=self.n_faults,
+            fault_plan=fault_plan,
+        )
+
 
 @dataclass
 class CaseResult:
@@ -105,30 +132,23 @@ class CampaignResult:
 # -- building blocks -----------------------------------------------------------
 
 
-def _make_sim(cfg: ChaosConfig, backend=None, executor=None):
-    from repro.comm import NvshmemBackend, make_backend
-    from repro.dd import DDSimulator
-    from repro.dd.grid import DDGrid
-    from repro.md import default_forcefield, make_grappa_system
+def _make_sim(cfg: ChaosConfig, backend: str | None = None, executor: str | None = None):
+    """Build the case's simulator from the config's spec.
 
-    ff = default_forcefield(cutoff=0.65)
-    system = make_grappa_system(cfg.atoms, seed=cfg.system_seed, ff=ff, dtype=np.float64)
-    if backend is None:
-        if cfg.backend == "nvshmem":
-            backend = NvshmemBackend(pes_per_node=cfg.pes_per_node, seed=cfg.system_seed)
-        else:
-            backend = make_backend(cfg.backend)
-    sim = DDSimulator(
-        system,
-        ff,
-        grid=DDGrid(cfg.shape),
-        backend=backend,
-        executor=executor or cfg.executor,
-        nstlist=cfg.nstlist,
-        buffer=cfg.buffer,
-        max_pulses=cfg.max_pulses,
-    )
-    return system, sim, backend
+    ``backend``/``executor`` are registry-name overrides (the reference
+    oracle swaps both); construction itself goes through
+    ``DDSimulator.from_spec`` so chaos cases and serve jobs share one
+    construction path.
+    """
+    from repro.dd import DDSimulator
+
+    spec = cfg.to_spec()
+    if backend is not None:
+        spec = spec.with_(backend=backend)
+    if executor is not None:
+        spec = spec.with_(executor=executor)
+    sim = DDSimulator.from_spec(spec)
+    return sim.system, sim, sim.backend
 
 
 def reference_trajectory(cfg: ChaosConfig) -> list[np.ndarray]:
@@ -139,9 +159,7 @@ def reference_trajectory(cfg: ChaosConfig) -> list[np.ndarray]:
     bit (the engine's own tests establish that without faults; the chaos
     campaign asserts it *with* faults).
     """
-    from repro.comm import make_backend
-
-    system, sim, _ = _make_sim(cfg, backend=make_backend("reference"), executor="serial")
+    system, sim, _ = _make_sim(cfg, backend="reference", executor="serial")
     out = []
     with sim:
         for _ in range(cfg.steps):

@@ -12,6 +12,15 @@ report     standing perf/energy dashboard: figure freshness, bench trends,
            load imbalance, energy estimates (``--check`` gates CI)
 verify     functional check: DD + fused NVSHMEM exchange vs serial MD
 chaos      fault-injection campaigns for the halo protocol (repro.chaos)
+serve      JSON-RPC simulation job service (repro.serve)
+submit     submit a SimulationSpec JSON file to a serve instance
+
+Functional subcommands (``compare``/``scaling`` ``--measure``,
+``profile --functional``, ``verify``, ``chaos``) all build a
+:class:`repro.serve.spec.SimulationSpec` and run it through
+:func:`repro.serve.client.submit_and_wait` — in-process by default, or
+on a running service with ``--server http://host:port``.  Both paths
+execute the same job body, so results are bit-identical.
 
 ``--trace out.json`` (on ``profile``, ``compare``, ``scaling``,
 ``verify``) writes a Chrome trace-event file: simulated schedules export
@@ -35,7 +44,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.md.grappa import GRAPPA_SIZES
+from repro.md.grappa import resolve_atoms
 from repro.obs.log import configure, get_logger
 from repro.perf.machines import machine_by_name
 from repro.perf.model import simulate_step
@@ -47,43 +56,32 @@ log = get_logger("cli")
 
 
 def _resolve_atoms(system: str) -> int:
-    label = system[len("grappa-"):] if system.startswith("grappa-") else system
-    if label in GRAPPA_SIZES:
-        return GRAPPA_SIZES[label]
+    """CLI-flavoured :func:`repro.md.grappa.resolve_atoms` (exits, not raises)."""
     try:
-        return int(label)
-    except ValueError:
-        raise SystemExit(
-            f"unknown system '{system}': use an atom count or one of "
-            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
-        ) from None
+        return resolve_atoms(system)
+    except ValueError as err:
+        raise SystemExit(str(err)) from None
 
 
 def _functional_ms_per_step(
-    n_atoms: int, ranks: int, backend: str, executor: str, steps: int, seed: int = 7
+    n_atoms: int, ranks: int, backend: str, executor: str, steps: int,
+    seed: int = 7, server: str | None = None,
 ) -> float:
     """Wall-clock ms/step of a real DD run with the chosen executor.
 
-    One step of warm-up (first neighbour search + worker pool spin-up)
-    before timing, so steady-state cost is what gets reported.
+    Builds a :class:`~repro.serve.spec.SimulationSpec` and submits it —
+    in-process when ``server`` is None, to a running serve instance
+    otherwise — so the measured path is the service path.  The reported
+    figure includes the first neighbour search and pool spin-up.
     """
-    import time
+    from repro.serve import SimulationSpec, submit_and_wait
 
-    import numpy as np
-
-    from repro.dd import DDSimulator
-    from repro.md import default_forcefield, make_grappa_system
-
-    ff = default_forcefield(cutoff=0.65)
-    system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
-    with DDSimulator(
-        system, ff, n_ranks=ranks, backend=backend, executor=executor,
+    spec = SimulationSpec(
+        system=str(n_atoms), steps=steps, ranks=ranks,
+        backend=backend, executor=executor, seed=seed,
         nstlist=10, buffer=0.12,
-    ) as sim:
-        sim.step()
-        t0 = time.perf_counter()
-        sim.run(steps)
-        return (time.perf_counter() - t0) * 1e3 / steps
+    )
+    return submit_and_wait(spec, server=server)["ms_per_step"]
 
 
 def cmd_compare(args) -> None:
@@ -112,7 +110,8 @@ def cmd_compare(args) -> None:
         if args.measure:
             row.append(
                 _functional_ms_per_step(
-                    n_atoms, args.gpus, backend, args.executor, args.measure
+                    n_atoms, args.gpus, backend, args.executor, args.measure,
+                    server=args.server,
                 )
             )
         tbl.add_row(*row)
@@ -154,7 +153,8 @@ def cmd_scaling(args) -> None:
         if args.measure:
             row.append(
                 _functional_ms_per_step(
-                    n_atoms, gpus, "nvshmem", args.executor, args.measure
+                    n_atoms, gpus, "nvshmem", args.executor, args.measure,
+                    server=args.server,
                 )
             )
         tbl.add_row(*row)
@@ -201,28 +201,26 @@ def cmd_critical(args) -> None:
 
 def _cmd_profile_functional(args) -> None:
     """Span-based accounting of a real DD run with the chosen executor."""
-    import numpy as np
-
-    from repro.dd import DDSimulator
-    from repro.md import default_forcefield, make_grappa_system
     from repro.obs.tracer import TRACER
+    from repro.serve import SimulationSpec, submit_and_wait
 
     n_atoms = _resolve_atoms(args.system)
-    TRACER.enable()
-    TRACER.clear()
-    ff = default_forcefield(cutoff=0.65)
-    system = make_grappa_system(n_atoms, seed=7, ff=ff, dtype=np.float64)
-    with DDSimulator(
-        system, ff, n_ranks=args.ranks, backend=args.backend,
-        executor=args.executor, nstlist=10, buffer=0.12,
+    spec = SimulationSpec(
+        kind="profile", system=str(n_atoms), steps=args.steps,
+        ranks=args.ranks, backend=args.backend, executor=args.executor,
+        nstlist=10, buffer=0.12,
         overlap_comm=not getattr(args, "no_overlap", False),
-    ) as sim:
-        sim.run(args.steps)
-    spans = list(TRACER.spans)
-    TRACER.disable()
-    agg: dict[str, list[float]] = {}
-    for s in spans:
-        agg.setdefault(s.name, []).append(s.dur_us)
+    )
+    want_raw_trace = bool(args.trace) and args.server is None
+    if want_raw_trace:
+        # Raw spans don't travel over RPC; record them locally so the
+        # Chrome-trace export keeps working on the blocking path.
+        TRACER.enable()
+        TRACER.clear()
+    result = submit_and_wait(spec, server=args.server)
+    if args.trace and args.server is not None:
+        log.warning("--trace is ignored with --server (raw spans stay server-side)")
+    spans_agg = result["spans"]
     tbl = Table(
         columns=("span", "count", "total_ms", "mean_us"),
         title=(
@@ -230,15 +228,16 @@ def _cmd_profile_functional(args) -> None:
             f"backend {args.backend}, executor {args.executor}, {args.steps} steps"
         ),
     )
-    for name in sorted(agg, key=lambda k: -sum(agg[k])):
-        durs = agg[name]
-        tbl.add_row(name, len(durs), sum(durs) / 1e3, sum(durs) / len(durs))
+    for name, s in spans_agg.items():
+        tbl.add_row(name, s["count"], s["total_us"] / 1e3, s["mean_us"])
     log.info("%s", tbl.render())
-    step_total = sum(agg.get("dd.step", [0.0]))
+    step_total = spans_agg.get("dd.step", {}).get("total_us", 0.0)
     log.info("wall time/step: %.1f us over %d steps", step_total / max(1, args.steps), args.steps)
-    if args.trace:
+    if want_raw_trace:
         from repro.obs.export import write_chrome_trace
 
+        spans = TRACER.spans
+        TRACER.disable()
         path = write_chrome_trace(
             args.trace,
             spans=spans,
@@ -376,39 +375,31 @@ def cmd_report(args) -> None:
 
 
 def cmd_verify(args) -> None:
-    import numpy as np
-
-    from repro.comm import NvshmemBackend
-    from repro.dd import DDSimulator
-    from repro.md import ReferenceSimulator, default_forcefield, make_grappa_system
     from repro.obs.metrics import METRICS
     from repro.obs.report import metrics_table
     from repro.obs.tracer import TRACER
+    from repro.serve import SimulationSpec, submit_and_wait
 
-    if args.trace:
-        TRACER.enable()
-        TRACER.clear()
-    ff = default_forcefield(cutoff=0.65)
-    system = make_grappa_system(args.atoms, seed=args.seed, ff=ff, dtype=np.float64)
-    serial = system.copy()
-    ReferenceSimulator(serial, ff, nstlist=5, buffer=0.12).run(args.steps)
-    dd = DDSimulator(
-        system, ff, n_ranks=args.ranks,
-        backend=NvshmemBackend(pes_per_node=max(1, args.ranks // 2), seed=args.seed),
-        executor=args.executor,
+    spec = SimulationSpec(
+        kind="verify", system=str(args.atoms), steps=args.steps,
+        ranks=args.ranks, seed=args.seed,
+        backend="nvshmem", executor=args.executor,
+        pes_per_node=max(1, args.ranks // 2),
         nstlist=5, buffer=0.12, max_pulses=2,
         overlap_comm=not args.no_overlap,
     )
-    with dd:
-        dd.run(args.steps)
-    dx = system.positions - serial.positions
-    dx -= np.rint(dx / system.box) * system.box
-    dev = float(np.abs(dx).max())
+    want_raw_trace = bool(args.trace) and args.server is None
+    if want_raw_trace:
+        TRACER.enable()
+        TRACER.clear()
+    result = submit_and_wait(spec, server=args.server)
+    if args.trace and args.server is not None:
+        log.warning("--trace is ignored with --server (raw spans stay server-side)")
     log.info(
         "%d steps, %d ranks (grid %s), max deviation vs serial: %.2e nm",
-        args.steps, args.ranks, dd.grid.shape, dev,
+        args.steps, args.ranks, tuple(result["grid"]), result["max_deviation_nm"],
     )
-    if args.trace:
+    if want_raw_trace:
         from repro.obs.export import write_chrome_trace
 
         path = write_chrome_trace(
@@ -419,7 +410,7 @@ def cmd_verify(args) -> None:
         TRACER.disable()
         log.info("wrote Chrome trace %s (%d spans)", path, len(TRACER.spans))
     log.debug("%s", metrics_table(METRICS).render())
-    if dev > 1e-10:
+    if not result["ok"]:
         raise SystemExit("FAILED: trajectories diverged")
     log.info("OK: fused NVSHMEM halo exchange is bit-consistent with serial MD")
 
@@ -457,6 +448,9 @@ def cmd_chaos(args) -> None:
         if args.backend == "all"
         else (args.backend,)
     )
+    if args.server:
+        _cmd_chaos_remote(args, backends, shape)
+        return
     tbl = Table(
         columns=("backend", "runs", "failures", "first_failing_seed"),
         title=f"chaos campaign: {args.runs} seeded fault plans per backend",
@@ -506,6 +500,114 @@ def cmd_chaos(args) -> None:
     )
 
 
+def _cmd_chaos_remote(args, backends: tuple, shape: tuple) -> None:
+    """Run a chaos campaign as concurrent serve jobs (one per fault plan).
+
+    Each seeded plan is generated client-side, embedded in its spec, and
+    submitted; the server runs the cases concurrently.  Shrinking and
+    artifact dumps are campaign-side features and stay local-only.
+    """
+    from repro.chaos import ChaosConfig
+    from repro.chaos.plan import FaultPlan
+    from repro.serve import ServeClient
+
+    if args.mutate:
+        raise SystemExit("--mutate patches this process and cannot run via --server")
+    client = ServeClient(args.server)
+    submitted: list[tuple[str, int, str]] = []  # (backend, plan seed, job id)
+    for backend in backends:
+        cfg = ChaosConfig(
+            backend=backend, atoms=args.atoms, shape=shape,
+            max_pulses=args.max_pulses, steps=args.steps,
+            pes_per_node=args.pes_per_node, executor=args.executor,
+            n_faults=args.faults,
+        )
+        for i in range(args.runs):
+            plan = FaultPlan.generate(
+                args.seed + i, n_faults=cfg.n_faults, n_ranks=cfg.n_ranks,
+                n_pulses=cfg.max_pulses, backend=backend,
+            )
+            job_id = client.submit(cfg.to_spec(fault_plan=plan))
+            submitted.append((backend, plan.seed, job_id))
+    tbl = Table(
+        columns=("backend", "runs", "failures", "first_failing_seed"),
+        title=f"chaos campaign via {args.server}: {args.runs} plans per backend",
+    )
+    any_failed = False
+    for backend in backends:
+        runs = failures = 0
+        first = ""
+        for b, plan_seed, job_id in submitted:
+            if b != backend:
+                continue
+            result = client.result(job_id, timeout=600.0)
+            runs += 1
+            if not result["ok"]:
+                failures += 1
+                if first == "":
+                    first = plan_seed
+                for v in result["violations"]:
+                    log.warning("chaos[%s] seed %d: %s", backend, plan_seed, v)
+        tbl.add_row(backend, runs, failures, first)
+        any_failed = any_failed or failures > 0
+    log.info("%s", tbl.render())
+    if args.expect_failure:
+        if not any_failed:
+            raise SystemExit(
+                "FAILED: --expect-failure set but no violation was detected"
+            )
+        log.info("OK: the chaos harness detected the failure")
+        return
+    if any_failed:
+        raise SystemExit(
+            "FAILED: chaos campaign detected protocol violations "
+            "(re-run without --server to shrink and dump an artifact)"
+        )
+    log.info(
+        "OK: %d fault-injected runs per backend, all bit-identical to the "
+        "serial reference", args.runs,
+    )
+
+
+def cmd_serve(args) -> None:
+    """Run the job service until interrupted."""
+    from repro.serve import JobEngine, make_server
+
+    engine = JobEngine(workers=args.workers)
+    server = make_server(engine, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    log.info(
+        "serve: listening on http://%s:%d (%d workers) — Ctrl-C to stop",
+        host, port, args.workers,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        log.info("serve: shutting down")
+    finally:
+        server.shutdown()
+        engine.shutdown(wait=False)
+
+
+def cmd_submit(args) -> None:
+    """Submit a spec JSON file to a serve instance (or run it locally)."""
+    import json as _json
+    import sys
+
+    from repro.serve import ServeClient, SimulationSpec, submit_and_wait
+
+    text = sys.stdin.read() if args.spec == "-" else open(args.spec).read()
+    spec = SimulationSpec.from_json(text)
+    if args.no_wait:
+        if not args.server:
+            raise SystemExit("--no-wait needs --server (local runs are blocking)")
+        job_id = ServeClient(args.server).submit(spec)
+        log.info("%s", job_id)
+        return
+    result = submit_and_wait(spec, server=args.server, timeout=args.timeout)
+    log.info("%s", _json.dumps(result, indent=2))
+
+
 def _maybe_write_graph_trace(args, graphs: dict) -> None:
     if getattr(args, "trace", None) and graphs:
         from repro.obs.export import write_chrome_trace
@@ -533,6 +635,11 @@ def main(argv: list[str] | None = None) -> None:
         choices=("serial", "thread", "process"), default="serial",
         help="rank executor for functional runs (see repro.par)",
     )
+    server_flag = dict(
+        default=None, metavar="URL",
+        help="submit functional runs to a running serve instance "
+             "(e.g. http://127.0.0.1:8642) instead of running in-process",
+    )
 
     def nonneg_int(value: str) -> int:
         n = int(value)
@@ -548,6 +655,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per backend and report wall ms/step")
+    p.add_argument("--server", **server_flag)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("scaling", parents=[common], help="strong-scaling sweep")
@@ -558,6 +666,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per GPU count and report wall ms/step")
+    p.add_argument("--server", **server_flag)
     p.set_defaults(fn=cmd_scaling)
 
     p = sub.add_parser("timings", parents=[common], help="device-side timing breakdown")
@@ -599,6 +708,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--no-overlap", action="store_true",
                    help="functional runs only: strict schedule (local forces, "
                         "halo exchange, non-local forces) with no overlap")
+    p.add_argument("--server", **server_flag)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("figures", parents=[common], help="regenerate all paper figures")
@@ -640,6 +750,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--no-overlap", action="store_true",
                    help="strict schedule (local forces, halo exchange, "
                         "non-local forces) with no comm-compute overlap")
+    p.add_argument("--server", **server_flag)
     p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser(
@@ -672,7 +783,31 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--replay", default=None, metavar="ARTIFACT",
                    help="replay a dumped failing schedule instead of "
                         "running a campaign (exit 3 if it reproduces)")
+    p.add_argument("--server", **server_flag)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve", parents=[common],
+        help="run the JSON-RPC simulation job service (repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="listen port (0 picks a free one; default 8642)")
+    p.add_argument("--workers", type=int, default=4,
+                   help="concurrent job bodies (default 4)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", parents=[common],
+        help="submit a SimulationSpec JSON file (blocking unless --no-wait)",
+    )
+    p.add_argument("spec", help="spec JSON path, or - for stdin")
+    p.add_argument("--server", **server_flag)
+    p.add_argument("--timeout", type=float, default=600.0,
+                   help="seconds to wait for the result (default 600)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job id instead of waiting (needs --server)")
+    p.set_defaults(fn=cmd_submit)
 
     args = parser.parse_args(argv)
     configure(verbosity=args.verbose, quiet=args.quiet)

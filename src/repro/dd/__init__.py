@@ -21,7 +21,7 @@ minimum of their zone shifts is zero.
 """
 
 from repro.dd.decomposition import DomainBounds, DomainDecomposition
-from repro.dd.engine import DDSimulator
+from repro.dd.engine import DDSimulator, resolve_backend_executor
 from repro.dd.exchange import (
     ClusterState,
     build_cluster,
@@ -53,4 +53,5 @@ __all__ = [
     "gather_positions",
     "reference_coordinate_exchange",
     "reference_force_exchange",
+    "resolve_backend_executor",
 ]

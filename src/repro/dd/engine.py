@@ -19,8 +19,9 @@ parent and worker views of the cluster arrays coherent (see
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import KW_ONLY, dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -42,6 +43,50 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycles)
 
 #: ClusterState field -> executor/workspace field (see repro.par.phases.FIELDS).
 _EXEC_FIELD = {f"local_{name}": name for name in FIELDS}
+
+
+def resolve_backend_executor(
+    backend: "HaloBackend | str | None" = None,
+    executor: "RankExecutor | str | None" = None,
+    *,
+    backend_kwargs: dict | None = None,
+    executor_kwargs: dict | None = None,
+) -> "tuple[HaloBackend, RankExecutor]":
+    """Resolve halo-backend and rank-executor registry names to instances.
+
+    The single place registry names become objects: instances pass
+    through untouched, ``None`` picks the defaults (``"reference"`` /
+    ``"serial"``), and an unknown name raises one actionable
+    :class:`ValueError` naming both registries — every entry point
+    (engine, CLI, bench, harness, serve) routes through here so the
+    error reads the same everywhere.
+    """
+    from repro.comm import backend_registry, make_backend
+    from repro.par import executor_registry, make_executor
+
+    if backend is None:
+        backend = "reference"
+    if isinstance(backend, str):
+        if backend not in backend_registry:
+            raise ValueError(
+                f"unknown backend '{backend}': available backends are "
+                f"{', '.join(sorted(backend_registry))}; available executors are "
+                f"{', '.join(sorted(executor_registry))} (pass a registry name "
+                f"or an instance)"
+            )
+        backend = make_backend(backend, **(backend_kwargs or {}))
+    if executor is None:
+        executor = "serial"
+    if isinstance(executor, str):
+        if executor not in executor_registry:
+            raise ValueError(
+                f"unknown executor '{executor}': available executors are "
+                f"{', '.join(sorted(executor_registry))}; available backends are "
+                f"{', '.join(sorted(backend_registry))} (pass a registry name "
+                f"or an instance)"
+            )
+        executor = make_executor(executor, **(executor_kwargs or {}))
+    return backend, executor
 
 
 @dataclass
@@ -96,13 +141,15 @@ class DDSimulator:
     #: every executor: local forces, full exchange, non-local forces.
     overlap_comm: bool = True
     topology: "object | None" = None
+    #: Optional hook replacing :func:`repro.dd.exchange.build_cluster` at
+    #: neighbour search: called as ``cluster_factory(sim)`` and must return
+    #: a fresh :class:`ClusterState` for the current positions.  The serve
+    #: layer uses this to satisfy the step-0 build from its artifact cache.
+    cluster_factory: "Callable[[DDSimulator], ClusterState] | None" = None
     step_count: int = 0
     energies: list[StepEnergies] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        from repro.comm import make_backend
-        from repro.par import make_executor
-
         r_comm = self.ff.cutoff + self.buffer
         if self.grid is None:
             if self.n_ranks < 1:
@@ -115,10 +162,7 @@ class DDSimulator:
             grid=self.grid, box=self.system.box, r_comm=r_comm,
             max_pulses=self.max_pulses,
         )
-        if self.backend is None:
-            self.backend = make_backend("reference")
-        elif isinstance(self.backend, str):
-            self.backend = make_backend(self.backend)
+        self.backend, _executor = resolve_backend_executor(self.backend, self.executor)
         self._pme_session = None
         if self.coulomb == "pme":
             from repro.md.reference import _default_pme_grid
@@ -143,10 +187,7 @@ class DDSimulator:
             raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._periodic = np.array([self.grid.shape[d] == 1 for d in range(3)])
-        if self.executor is None:
-            self.executor = make_executor("serial")
-        elif isinstance(self.executor, str):
-            self.executor = make_executor(self.executor)
+        self.executor = _executor
         self.executor.configure(
             RankConfig(
                 kernel=self._kernel,
@@ -161,6 +202,64 @@ class DDSimulator:
         self._pair_stats: list[dict] = []
         self._ns_positions: np.ndarray | None = None
         self.workloads: list[RankWorkload] = []
+
+    # -- spec construction ----------------------------------------------------
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        system: MDSystem | None = None,
+        ff: ForceField | None = None,
+        grid: DDGrid | None = None,
+        executor: "RankExecutor | str | None" = None,
+        cluster_factory: "Callable[[DDSimulator], ClusterState] | None" = None,
+    ) -> "DDSimulator":
+        """Build a simulator from a :class:`repro.serve.SimulationSpec`.
+
+        ``spec`` is duck-typed (any object with the spec's fields), so the
+        engine keeps no import on the serve layer.  The optional keyword
+        overrides let callers inject pre-built (possibly cached) pieces —
+        a system template, a chosen grid, a cluster factory — without the
+        spec losing its role as the single source of truth for the knobs.
+        """
+        from repro.dd.grid import DDGrid as _DDGrid
+        from repro.md.forcefield import default_forcefield
+        from repro.md.grappa import make_grappa_system, resolve_atoms
+
+        if ff is None:
+            ff = default_forcefield(cutoff=spec.cutoff)
+        if system is None:
+            system = make_grappa_system(
+                resolve_atoms(spec.system), seed=spec.seed, ff=ff, dtype=np.float64
+            )
+        backend_kwargs: dict = {}
+        if spec.backend == "nvshmem":
+            backend_kwargs["seed"] = spec.seed
+            if spec.pes_per_node:
+                backend_kwargs["pes_per_node"] = spec.pes_per_node
+        backend, executor = resolve_backend_executor(
+            spec.backend, executor or spec.executor, backend_kwargs=backend_kwargs
+        )
+        if grid is None and spec.shape is not None:
+            grid = _DDGrid(tuple(spec.shape))
+        return cls(
+            system,
+            ff,
+            n_ranks=spec.ranks,
+            grid=grid,
+            backend=backend,
+            executor=executor,
+            nstlist=spec.nstlist,
+            buffer=spec.buffer,
+            dt=spec.dt,
+            trim_corners=spec.trim_corners,
+            max_pulses=spec.max_pulses,
+            coulomb=spec.coulomb,
+            overlap_comm=spec.overlap_comm,
+            cluster_factory=cluster_factory,
+        )
 
     # -- executor coherence ---------------------------------------------------
 
@@ -219,9 +318,12 @@ class DDSimulator:
         Also rebinds the halo backend and the executor to the fresh cluster
         and runs the per-rank pair-search phase through the executor.
         """
-        self.cluster = build_cluster(
-            self.system, self.dd, trim_corners=self.trim_corners
-        )
+        if self.cluster_factory is not None:
+            self.cluster = self.cluster_factory(self)
+        else:
+            self.cluster = build_cluster(
+                self.system, self.dd, trim_corners=self.trim_corners
+            )
         self._assign_bonded()
         self.backend.bind(self.cluster)
         self._bind_executor()
@@ -475,3 +577,37 @@ class DDSimulator:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+
+# Positional ``backend`` / ``executor`` are deprecated: the documented
+# construction forms are keyword registry names / instances
+# (``DDSimulator(system, ff, n_ranks=8, backend="nvshmem",
+# executor="process")``) or :meth:`DDSimulator.from_spec`.  The shim keeps
+# the legacy 5th/6th positional arguments working under a
+# ``DeprecationWarning`` for one release.
+_dataclass_init = DDSimulator.__init__
+
+
+def _deprecating_init(self, system, ff, n_ranks=0, grid=None, *legacy, **kwargs):
+    if legacy:
+        if len(legacy) > 2:
+            raise TypeError(
+                f"DDSimulator takes at most 6 positional arguments "
+                f"({4 + len(legacy)} given)"
+            )
+        warnings.warn(
+            "positional backend/executor arguments to DDSimulator are "
+            "deprecated; pass backend=.../executor=... registry names (or "
+            "instances), or build via DDSimulator.from_spec()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for name, value in zip(("backend", "executor"), legacy):
+            if name in kwargs:
+                raise TypeError(f"DDSimulator got multiple values for argument '{name}'")
+            kwargs[name] = value
+    _dataclass_init(self, system, ff, n_ranks=n_ranks, grid=grid, **kwargs)
+
+
+_deprecating_init.__wrapped__ = _dataclass_init
+DDSimulator.__init__ = _deprecating_init

@@ -18,7 +18,11 @@ def run_experiment(exp_id: str, out_dir: str | Path | None = None) -> Table:
     """Run one experiment; optionally write its CSV to ``out_dir``."""
     exp = EXPERIMENTS.get(exp_id)
     if exp is None:
-        raise KeyError(f"unknown experiment '{exp_id}', available: {sorted(EXPERIMENTS)}")
+        raise KeyError(
+            f"unknown experiment '{exp_id}': available experiments are "
+            f"{', '.join(sorted(EXPERIMENTS))} (pass an id from "
+            f"repro.harness.EXPERIMENTS)"
+        )
     tbl = exp.run()
     if out_dir is not None:
         out_dir = Path(out_dir)

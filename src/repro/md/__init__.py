@@ -10,7 +10,12 @@ which the domain-decomposed engine is verified.
 
 from repro.md.cells import CellList
 from repro.md.forcefield import ForceField, default_forcefield
-from repro.md.grappa import GRAPPA_SIZES, grappa_label, make_grappa_system
+from repro.md.grappa import (
+    GRAPPA_SIZES,
+    grappa_label,
+    make_grappa_system,
+    resolve_atoms,
+)
 from repro.md.integrator import LeapFrogIntegrator, kinetic_energy, remove_com_motion
 from repro.md.nonbonded import NonbondedKernel, PairBlock, block_forces, pair_forces
 from repro.md.pairlist import PairList, VerletListBuilder
@@ -40,4 +45,5 @@ __all__ = [
     "wrap_positions",
     "Topology",
     "make_molecular_grappa_system",
+    "resolve_atoms",
 ]

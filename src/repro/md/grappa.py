@@ -43,6 +43,32 @@ GRAPPA_DENSITY = 100.0
 ETHANOL_GROUP_FRACTION = 0.125
 
 
+def resolve_atoms(system: str | int) -> int:
+    """Atom count for a system label: ``45000``, ``"45k"``, or ``"grappa-45k"``.
+
+    The one canonical resolver for every CLI, spec, and benchmark entry
+    point; raises :class:`ValueError` with the full label set so callers
+    can surface a single actionable error.
+    """
+    if isinstance(system, int):
+        if system <= 0:
+            raise ValueError(f"atom count must be positive, got {system}")
+        return system
+    label = system[len("grappa-"):] if system.startswith("grappa-") else system
+    if label in GRAPPA_SIZES:
+        return GRAPPA_SIZES[label]
+    try:
+        n = int(label)
+    except ValueError:
+        raise ValueError(
+            f"unknown system '{system}': use an atom count or one of "
+            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
+        ) from None
+    if n <= 0:
+        raise ValueError(f"atom count must be positive, got {n}")
+    return n
+
+
 def grappa_label(n_atoms: int) -> str:
     """Human label for an atom count (e.g. 45000 -> '45k')."""
     for label, n in GRAPPA_SIZES.items():

@@ -17,6 +17,9 @@ this repo already trusts:
    latest record per key (:mod:`repro.par.imbalance`).
 4. **Energy** — the modeled J/step and ns·day⁻¹/W carried by the same
    records (:mod:`repro.perf.energy`).
+5. **Service health** (only when the process has served jobs) — the live
+   ``serve.*`` metrics published by :mod:`repro.serve`: queue depth,
+   per-state job counts, and artifact-cache hit/miss counters.
 
 ``report_problems`` is the ``--check`` gate: non-fresh figures and a
 missing/empty bench history are failures, so CI can refuse to merge a
@@ -110,6 +113,18 @@ def build_report(
             for s in statuses
         ],
         "bench_trends": trends,
+        # Live serve.* metrics from THIS process (empty unless a JobEngine
+        # has run here): queue depth, job counts, cache hits/misses.
+        "serve": _serve_snapshot(),
+    }
+
+
+def _serve_snapshot() -> dict:
+    from repro.obs.metrics import METRICS
+
+    return {
+        k: v for k, v in METRICS.snapshot("serve").items()
+        if not isinstance(v, dict)
     }
 
 
@@ -275,6 +290,17 @@ def render_markdown(data: dict) -> str:
     else:
         out.append("_No energy estimates in the committed records yet._")
         out.append("")
+
+    # -- 5. service health (live, only when this process served jobs) ---------
+    if data.get("serve"):
+        out.append("## Service health (live `serve.*` metrics, this process)")
+        out.append("")
+        out.append(
+            _md_table(
+                ["metric", "value"],
+                [[f"`{k}`", _fmt(v, 0)] for k, v in sorted(data["serve"].items())],
+            )
+        )
 
     problems = report_problems(data)
     out.append("## Verdict")

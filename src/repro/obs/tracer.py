@@ -30,7 +30,15 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
+
+#: Active per-job span sink for the current thread/task (None = no scope).
+#: While a sink is set, spans record even if the tracer is globally
+#: disabled — the serve layer uses this to stream one job's spans without
+#: turning on process-wide tracing.
+_SCOPE: "ContextVar[list | None]" = ContextVar("repro_tracer_scope", default=None)
 
 
 @dataclass(frozen=True)
@@ -127,13 +135,13 @@ class Tracer:
 
     def span(self, name: str, cat: str = "", **args) -> "_SpanHandle | _NoopSpan":
         """Open a span context; the single-boolean-check fast path."""
-        if not self.enabled:
+        if not self.enabled and _SCOPE.get() is None:
             return _NOOP_SPAN
         return _SpanHandle(self, name, cat, args)
 
     def instant(self, name: str, cat: str = "", **args) -> None:
         """Record a zero-duration marker at the current time."""
-        if not self.enabled:
+        if not self.enabled and _SCOPE.get() is None:
             return
         st = self._thread_state()
         self._record(
@@ -160,8 +168,29 @@ class Tracer:
         return st
 
     def _record(self, span: Span) -> None:
+        sink = _SCOPE.get()
+        if sink is not None:
+            sink.append(span)
+        if not self.enabled:
+            return
         with self._lock:
             self._buffer.append(span)
+
+    @contextmanager
+    def scope(self, sink: list | None = None):
+        """Collect this thread/task's spans into ``sink`` (a plain list).
+
+        Recording into a scope works even while the tracer is globally
+        disabled, so a serve job can stream its own spans without
+        enabling process-wide tracing.  Yields the sink.
+        """
+        if sink is None:
+            sink = []
+        token = _SCOPE.set(sink)
+        try:
+            yield sink
+        finally:
+            _SCOPE.reset(token)
 
     # -- control / access -----------------------------------------------------
 

@@ -1,0 +1,137 @@
+"""JSON-RPC 2.0 over HTTP front end for the job engine (stdlib only).
+
+One POST endpoint (``/``) speaks JSON-RPC 2.0; the methods map 1:1 onto
+the :class:`~repro.serve.engine.JobEngine` facade:
+
+========  =======================================  =======================
+method    params                                   result
+========  =======================================  =======================
+submit    ``{"spec": {...}}``                      ``{"job_id": "..."}``
+status    ``{"job_id": "..."}``                    job status dict
+result    ``{"job_id": "...", "timeout": 30.0}``   the job's result dict
+cancel    ``{"job_id": "..."}``                    ``{"cancelled": bool}``
+stats     ``{}``                                   engine + cache stats
+ping      ``{}``                                   ``{"ok": true}``
+========  =======================================  =======================
+
+The server is a ``ThreadingHTTPServer``: each request gets a handler
+thread, which simply calls the engine's thread-safe facade — blocking
+``result`` calls park a handler thread, not the scheduler.  Errors use
+the standard JSON-RPC codes, plus ``-32000`` for application errors
+(unknown job, failed job, timeout).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.log import get_logger
+from repro.serve.engine import JobEngine
+from repro.serve.jobs import JobCancelled
+
+log = get_logger("serve.rpc")
+
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+APP_ERROR = -32000
+
+
+def _dispatch(engine: JobEngine, method: str, params: dict):
+    if method == "submit":
+        return {"job_id": engine.submit(params["spec"])}
+    if method == "status":
+        return engine.status(params["job_id"])
+    if method == "result":
+        return engine.result(params["job_id"], timeout=params.get("timeout", 60.0))
+    if method == "cancel":
+        return {"cancelled": engine.cancel(params["job_id"])}
+    if method == "stats":
+        return engine.stats()
+    if method == "ping":
+        return {"ok": True}
+    raise LookupError(method)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # Set by make_server() on the handler subclass.
+    engine: JobEngine
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            req = json.loads(self.rfile.read(length))
+        except (ValueError, TypeError):
+            self._reply(None, error=(PARSE_ERROR, "parse error"))
+            return
+        req_id = req.get("id") if isinstance(req, dict) else None
+        if not isinstance(req, dict) or req.get("jsonrpc") != "2.0" or "method" not in req:
+            self._reply(req_id, error=(INVALID_REQUEST, "invalid JSON-RPC 2.0 request"))
+            return
+        params = req.get("params") or {}
+        if not isinstance(params, dict):
+            self._reply(req_id, error=(INVALID_PARAMS, "params must be an object"))
+            return
+        try:
+            result = _dispatch(self.engine, req["method"], params)
+        except LookupError as err:
+            self._reply(req_id, error=(METHOD_NOT_FOUND, f"unknown method '{err.args[0]}'"))
+        except KeyError as err:
+            self._reply(req_id, error=(INVALID_PARAMS, f"missing/unknown param or job: {err}"))
+        except (ValueError, TypeError) as err:
+            self._reply(req_id, error=(INVALID_PARAMS, str(err)))
+        except (TimeoutError, RuntimeError, JobCancelled) as err:
+            self._reply(req_id, error=(APP_ERROR, str(err)))
+        else:
+            self._reply(req_id, result=result)
+
+    def _reply(self, req_id, result=None, error=None) -> None:
+        body = {"jsonrpc": "2.0", "id": req_id}
+        if error is not None:
+            code, message = error
+            body["error"] = {"code": code, "message": message}
+        else:
+            body["result"] = result
+        payload = json.dumps(body).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, fmt: str, *args) -> None:
+        log.debug("http %s", fmt % args)
+
+
+def make_server(
+    engine: JobEngine, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """An HTTP server bound to (host, port); port 0 picks a free port.
+
+    The bound port is ``server.server_address[1]``.  Call
+    ``server.serve_forever()`` (blocking) or use :func:`start_server`.
+    """
+    handler = type("BoundHandler", (_Handler,), {"engine": engine})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def start_server(
+    engine: JobEngine, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ThreadingHTTPServer, str]:
+    """Serve on a background thread; returns (server, url)."""
+    server = make_server(engine, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="serve-http", daemon=True
+    )
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    url = f"http://{bound_host}:{bound_port}"
+    log.info("serve: listening on %s (%d workers)", url, engine.workers)
+    return server, url

@@ -1,0 +1,199 @@
+"""Spec execution: the one body every job (and every blocking CLI) runs.
+
+:func:`execute_spec` turns a :class:`~repro.serve.spec.SimulationSpec`
+into a JSON-shaped result dict.  It is deliberately a plain synchronous
+function: the CLIs call it directly (blocking path) and the
+:class:`~repro.serve.engine.JobEngine` calls it from its worker pool
+(service path), so both paths are the same code by construction — the
+property the parity tests pin down with positions digests.
+
+Per-job observability: the whole body runs under ``METRICS.scope`` and
+``TRACER.scope``, so each job's result carries its own metric snapshot
+and span accounting even when many jobs share the process.  Records made
+on executor-pool-internal threads land only in the global registry (the
+documented driving-thread-view caveat).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, METRICS
+from repro.obs.tracer import TRACER
+from repro.serve.jobs import JobCancelled
+from repro.serve.spec import SimulationSpec
+
+
+def positions_digest(positions) -> str:
+    """sha256 of the raw position bytes: the cross-path identity check."""
+    return hashlib.sha256(positions.tobytes()).hexdigest()
+
+
+def execute_spec(
+    spec: SimulationSpec,
+    *,
+    cache=None,
+    cancel: threading.Event | None = None,
+) -> dict:
+    """Run one spec to completion and return its result dict.
+
+    ``cache`` is an optional :class:`~repro.serve.cache.ArtifactCache`
+    shared across jobs; without one, every run builds its own artifacts
+    (the blocking single-run path).  ``cancel`` is polled between steps;
+    when set, :class:`JobCancelled` propagates out.
+    """
+    job_metrics = MetricsRegistry()
+    t0 = time.perf_counter()
+    with METRICS.scope(job_metrics), TRACER.scope() as spans:
+        if spec.kind == "simulate":
+            result = _run_simulate(spec, cache, cancel)
+        elif spec.kind == "profile":
+            result = _run_simulate(spec, cache, cancel)
+        elif spec.kind == "verify":
+            result = _run_verify(spec, cache, cancel)
+        elif spec.kind == "chaos":
+            result = _run_chaos(spec, cancel)
+        else:  # unreachable: spec.__post_init__ validates kind
+            raise ValueError(f"unknown spec kind '{spec.kind}'")
+    result["kind"] = spec.kind
+    result["job_key"] = spec.job_key()
+    result["wall_s"] = time.perf_counter() - t0
+    result["metrics"] = job_metrics.snapshot()
+    if spec.kind == "profile":
+        result["spans"] = _aggregate_spans(spans)
+    return result
+
+
+def _check_cancel(cancel: threading.Event | None) -> None:
+    if cancel is not None and cancel.is_set():
+        raise JobCancelled()
+
+
+def _build_sim(spec: SimulationSpec, cache):
+    """A DDSimulator for this spec, using the shared cache when given."""
+    from repro.dd.engine import DDSimulator
+    from repro.md.forcefield import default_forcefield
+
+    ff = default_forcefield(cutoff=spec.cutoff)
+    if cache is None:
+        return DDSimulator.from_spec(spec, ff=ff)
+    system = cache.system_template(spec, ff)
+    grid = cache.grid_for(spec, system, ff)
+    return DDSimulator.from_spec(
+        spec, system=system, ff=ff, grid=grid,
+        cluster_factory=cache.cluster_factory(spec),
+    )
+
+
+def _run_steps(sim, steps: int, cancel: threading.Event | None) -> None:
+    """Step loop with a cancel check between steps."""
+    _check_cancel(cancel)
+    for _ in range(steps):
+        sim.step()
+        _check_cancel(cancel)
+
+
+def _run_simulate(spec: SimulationSpec, cache, cancel) -> dict:
+    sim = _build_sim(spec, cache)
+    t0 = time.perf_counter()
+    with sim:
+        _run_steps(sim, spec.steps, cancel)
+        wall = time.perf_counter() - t0
+        out = {
+            "n_atoms": spec.n_atoms,
+            "ranks": sim.n_ranks,
+            "grid": list(sim.grid.shape),
+            "steps": sim.step_count,
+            "ms_per_step": wall * 1e3 / max(1, spec.steps),
+            "digest": positions_digest(sim.system.positions),
+        }
+    if cache is not None:
+        model = cache.perf_model(spec)
+        if model is not None:
+            out["perf_model"] = model
+    return out
+
+
+#: Max |dx| (nm) between DD and serial trajectories before verify fails.
+VERIFY_TOLERANCE = 1e-10
+
+
+def _run_verify(spec: SimulationSpec, cache, cancel) -> dict:
+    import numpy as np
+
+    from repro.md import ReferenceSimulator
+
+    sim = _build_sim(spec, cache)
+    serial = sim.system.copy()
+    ref = ReferenceSimulator(serial, sim.ff, nstlist=spec.nstlist, buffer=spec.buffer)
+    _check_cancel(cancel)
+    ref.run(spec.steps)
+    with sim:
+        _run_steps(sim, spec.steps, cancel)
+        dx = sim.system.positions - serial.positions
+        dx -= np.rint(dx / sim.system.box) * sim.system.box
+        dev = float(np.abs(dx).max())
+        return {
+            "n_atoms": spec.n_atoms,
+            "ranks": sim.n_ranks,
+            "grid": list(sim.grid.shape),
+            "steps": spec.steps,
+            "max_deviation_nm": dev,
+            "ok": dev <= VERIFY_TOLERANCE,
+            "digest": positions_digest(sim.system.positions),
+        }
+
+
+def _run_chaos(spec: SimulationSpec, cancel) -> dict:
+    # Function-level import: repro.chaos pulls in campaign, which builds
+    # specs of its own — importing it at module level would be a cycle.
+    from repro.chaos.campaign import ChaosConfig, run_case
+    from repro.chaos.plan import FaultPlan
+
+    cfg = ChaosConfig(
+        backend=spec.backend,
+        atoms=spec.n_atoms,
+        shape=tuple(spec.shape) if spec.shape is not None else (1, 1, spec.ranks),
+        max_pulses=spec.max_pulses,
+        steps=spec.steps,
+        nstlist=spec.nstlist,
+        buffer=spec.buffer,
+        system_seed=spec.seed,
+        pes_per_node=spec.pes_per_node or 2,
+        executor=spec.executor,
+        n_faults=spec.n_faults,
+    )
+    plan = spec.fault_plan or FaultPlan.generate(
+        spec.seed,
+        n_faults=spec.n_faults,
+        n_ranks=cfg.n_ranks,
+        n_pulses=cfg.max_pulses,
+        backend=cfg.backend,
+    )
+    _check_cancel(cancel)
+    case = run_case(cfg, plan)
+    return {
+        "n_atoms": spec.n_atoms,
+        "ranks": cfg.n_ranks,
+        "steps_completed": case.steps_completed,
+        "plan_seed": plan.seed,
+        "violations": list(case.violations),
+        "ok": not case.failed,
+    }
+
+
+def _aggregate_spans(spans) -> dict:
+    """Per-name count/total/mean accounting of a job's recorded spans."""
+    agg: dict[str, list[float]] = {}
+    for s in spans:
+        agg.setdefault(s.name, []).append(s.dur_us)
+    return {
+        name: {
+            "count": len(durs),
+            "total_us": sum(durs),
+            "mean_us": sum(durs) / len(durs),
+        }
+        for name, durs in sorted(agg.items(), key=lambda kv: -sum(kv[1]))
+    }

@@ -150,9 +150,11 @@ class TestRegistry:
             assert np.array_equal(direct["pos"], named.system.positions)
 
     def test_unknown_strings_rejected_at_construction(self, tiny_system, ff):
-        with pytest.raises(KeyError):
+        # resolve_backend_executor turns registry misses into one actionable
+        # ValueError naming both registries.
+        with pytest.raises(ValueError, match="available backends"):
             DDSimulator(tiny_system, ff, n_ranks=2, backend="bogus")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="available executors"):
             DDSimulator(tiny_system, ff, n_ranks=2, executor="bogus")
 
 

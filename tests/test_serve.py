@@ -1,0 +1,363 @@
+"""repro.serve: spec round-trips, from_spec parity, the job engine,
+artifact-cache bit-identity, retry-on-worker-death, and the RPC layer."""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.chaos.plan import FaultPlan
+from repro.dd import DDSimulator, resolve_backend_executor
+from repro.md import default_forcefield, make_grappa_system
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.tracer import TRACER
+from repro.serve import (
+    ArtifactCache,
+    JobCancelled,
+    JobEngine,
+    ServeClient,
+    SimulationSpec,
+    execute_spec,
+    positions_digest,
+    start_server,
+    submit_and_wait,
+)
+
+SPEC = SimulationSpec(system="1400", steps=3, ranks=4, nstlist=2, seed=11)
+
+
+# -- SimulationSpec ------------------------------------------------------------
+
+
+class TestSpec:
+    def test_json_round_trip(self):
+        spec = SPEC.with_(shape=(1, 1, 4), backend="nvshmem", pes_per_node=2)
+        assert SimulationSpec.from_json(spec.to_json()) == spec
+
+    def test_json_round_trip_with_fault_plan(self):
+        plan = FaultPlan.generate(5, n_faults=3, n_ranks=4, n_pulses=2,
+                                  backend="nvshmem")
+        spec = SPEC.with_(kind="chaos", fault_plan=plan)
+        back = SimulationSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.fault_plan.to_dict() == plan.to_dict()
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SimulationSpec field"):
+            SimulationSpec.from_dict({"kind": "simulate", "bogus": 1})
+
+    def test_unknown_kind_and_schema_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            SimulationSpec(kind="explode")
+        with pytest.raises(ValueError, match="schema_version"):
+            SimulationSpec(schema_version=99)
+
+    def test_backend_must_be_registry_name(self):
+        from repro.comm import NvshmemBackend
+
+        with pytest.raises(TypeError, match="registry"):
+            SimulationSpec(backend=NvshmemBackend())
+
+    def test_bad_system_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown system"):
+            SimulationSpec(system="46q")
+
+    def test_system_key_groups_identical_initial_state(self):
+        assert SPEC.system_key() == SPEC.with_(steps=50).system_key()
+        assert SPEC.system_key() != SPEC.with_(seed=12).system_key()
+
+    def test_job_key_is_content_hash(self):
+        assert SPEC.job_key() == SimulationSpec.from_json(SPEC.to_json()).job_key()
+        assert SPEC.job_key() != SPEC.with_(steps=4).job_key()
+
+    def test_n_ranks_follows_shape(self):
+        assert SPEC.with_(shape=(1, 2, 4)).n_ranks == 8
+        assert SPEC.n_ranks == 4
+
+
+# -- DDSimulator.from_spec and the deprecation shim ---------------------------
+
+
+class TestFromSpec:
+    def test_parity_with_legacy_constructor(self, ff):
+        """from_spec and the keyword constructor give bit-identical runs."""
+        legacy_system = make_grappa_system(1400, seed=11, ff=ff, dtype=np.float64)
+        with DDSimulator(
+            legacy_system, ff, n_ranks=4, backend="reference",
+            executor="serial", nstlist=2, buffer=0.12,
+        ) as sim:
+            sim.run(3)
+        with DDSimulator.from_spec(SPEC) as sim2:
+            sim2.run(3)
+        assert positions_digest(sim2.system.positions) == positions_digest(
+            legacy_system.positions
+        )
+
+    def test_parity_nvshmem_backend(self, ff):
+        """Spec-built NVSHMEM sims match explicitly constructed ones."""
+        from repro.comm import NvshmemBackend
+
+        legacy_system = make_grappa_system(1400, seed=11, ff=ff, dtype=np.float64)
+        with DDSimulator(
+            legacy_system, ff, n_ranks=4,
+            backend=NvshmemBackend(pes_per_node=2, seed=11),
+            executor="serial", nstlist=2, buffer=0.12, max_pulses=2,
+        ) as sim:
+            sim.run(3)
+        spec = SPEC.with_(backend="nvshmem", pes_per_node=2, max_pulses=2)
+        with DDSimulator.from_spec(spec) as sim2:
+            sim2.run(3)
+        assert np.array_equal(sim2.system.positions, legacy_system.positions)
+
+    def test_positional_backend_executor_deprecated(self, tiny_system, ff):
+        with pytest.warns(DeprecationWarning, match="positional backend/executor"):
+            sim = DDSimulator(tiny_system, ff, 2, None, "reference", "serial")
+        assert sim.n_ranks == 2
+
+    def test_keyword_construction_warns_nothing(self, tiny_system, ff):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            DDSimulator(tiny_system, ff, n_ranks=2, backend="reference",
+                        executor="serial")
+
+    def test_legacy_positional_still_runs_correctly(self, ff):
+        """The deprecated form must keep passing parity, not just construct."""
+        sys_a = make_grappa_system(1400, seed=11, ff=ff, dtype=np.float64)
+        sys_b = sys_a.copy()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            sim = DDSimulator(sys_a, ff, 4, None, "reference", "serial",
+                              nstlist=2, buffer=0.12)
+        with sim:
+            sim.run(2)
+        with DDSimulator(sys_b, ff, n_ranks=4, backend="reference",
+                         executor="serial", nstlist=2, buffer=0.12) as sim2:
+            sim2.run(2)
+        assert np.array_equal(sys_a.positions, sys_b.positions)
+
+
+class TestResolveBackendExecutor:
+    def test_unknown_backend_lists_both_registries(self):
+        with pytest.raises(ValueError) as err:
+            resolve_backend_executor("bogus", "serial")
+        assert "available backends" in str(err.value)
+        assert "available executors" in str(err.value)
+
+    def test_unknown_executor_actionable(self):
+        with pytest.raises(ValueError, match="available executors"):
+            resolve_backend_executor("reference", "bogus")
+
+    def test_defaults(self):
+        backend, executor = resolve_backend_executor(None, None)
+        assert type(backend).__name__ == "ReferenceBackend"
+        assert type(executor).__name__ == "SerialExecutor"
+
+
+# -- execute_spec + artifact cache --------------------------------------------
+
+
+class TestExecuteSpec:
+    def test_cached_path_is_bit_identical_to_cold_path(self):
+        cold = execute_spec(SPEC)
+        cache = ArtifactCache()
+        warm1 = execute_spec(SPEC, cache=cache)   # populates
+        warm2 = execute_spec(SPEC, cache=cache)   # cluster0/system/grid hits
+        assert warm1["digest"] == cold["digest"]
+        assert warm2["digest"] == cold["digest"]
+        stats = cache.stats()
+        assert stats["hits"] > 0
+
+    def test_verify_kind(self):
+        spec = SPEC.with_(kind="verify", backend="nvshmem", pes_per_node=2,
+                          max_pulses=2, nstlist=2)
+        result = execute_spec(spec)
+        assert result["ok"]
+        assert result["max_deviation_nm"] <= 1e-10
+
+    def test_chaos_kind_with_embedded_plan(self):
+        plan = FaultPlan.generate(2, n_faults=2, n_ranks=4, n_pulses=2,
+                                  backend="nvshmem")
+        spec = SimulationSpec(
+            kind="chaos", system="1400", steps=2, shape=(1, 1, 4),
+            max_pulses=2, backend="nvshmem", pes_per_node=2, seed=3,
+            nstlist=2, fault_plan=plan,
+        )
+        result = execute_spec(spec)
+        assert result["ok"], result["violations"]
+        assert result["plan_seed"] == 2
+
+    def test_profile_kind_returns_span_accounting(self):
+        result = execute_spec(SPEC.with_(kind="profile"))
+        assert "dd.step" in result["spans"]
+        assert result["spans"]["dd.step"]["count"] == SPEC.steps
+
+    def test_per_job_metrics_snapshot(self):
+        result = execute_spec(SPEC)
+        # The job's own stream, not process-wide totals.
+        assert result["metrics"].get("dd.steps") == SPEC.steps
+
+    def test_cancel_between_steps(self):
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(JobCancelled):
+            execute_spec(SPEC, cancel=cancel)
+
+
+# -- observability scoping -----------------------------------------------------
+
+
+class TestObsScoping:
+    def test_metrics_scope_tees_to_both(self):
+        job = MetricsRegistry()
+        with METRICS.scope(job):
+            METRICS.counter("scopetest.hits").inc(3)
+        assert job.counter("scopetest.hits").value == 3
+        assert METRICS.counter("scopetest.hits").value == 3
+
+    def test_tracer_scope_records_while_disabled(self):
+        assert not TRACER.enabled
+        with TRACER.scope() as sink:
+            with TRACER.span("scopetest.op"):
+                pass
+        assert [s.name for s in sink] == ["scopetest.op"]
+        assert not TRACER.find("scopetest.op")  # global buffer untouched
+
+
+# -- JobEngine -----------------------------------------------------------------
+
+
+class TestJobEngine:
+    def test_three_concurrent_jobs_bit_identical_to_blocking(self):
+        blocking = submit_and_wait(SPEC)
+        specs = [SPEC, SPEC.with_(kind="profile"),
+                 SPEC.with_(kind="verify", backend="nvshmem", pes_per_node=2,
+                            max_pulses=2)]
+        with JobEngine(workers=3) as engine:
+            ids = [engine.submit(s) for s in specs]
+            results = [engine.result(i, timeout=300) for i in ids]
+            stats = engine.stats()
+        assert results[0]["digest"] == blocking["digest"]
+        assert results[1]["digest"] == blocking["digest"]
+        assert results[2]["ok"]
+        assert stats["jobs"]["done"] == 3
+        assert stats["cache"]["hits"] > 0
+
+    def test_retry_on_worker_death(self):
+        attempts = []
+
+        def flaky_runner(spec, *, cache=None, cancel=None):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("process-executor worker 2 failed: died")
+            return {"ok": True}
+
+        with JobEngine(workers=1, runner=flaky_runner) as engine:
+            result = engine.result(engine.submit(SPEC), timeout=60)
+        assert result == {"ok": True}
+        assert len(attempts) == 2
+
+    def test_worker_death_retries_are_bounded(self):
+        def always_dies(spec, *, cache=None, cancel=None):
+            raise BrokenPipeError("worker gone")
+
+        with JobEngine(workers=1, runner=always_dies, max_attempts=2) as engine:
+            job_id = engine.submit(SPEC)
+            with pytest.raises(RuntimeError, match="failed.*worker gone"):
+                engine.result(job_id, timeout=60)
+            assert engine.status(job_id)["attempts"] == 2
+
+    def test_real_failure_does_not_retry(self):
+        def bad_physics(spec, *, cache=None, cancel=None):
+            raise AssertionError("trajectories diverged")
+
+        with JobEngine(workers=1, runner=bad_physics) as engine:
+            job_id = engine.submit(SPEC)
+            with pytest.raises(RuntimeError, match="diverged"):
+                engine.result(job_id, timeout=60)
+            assert engine.status(job_id)["attempts"] == 1
+
+    def test_cancel_queued_job(self):
+        release = threading.Event()
+
+        def slow_runner(spec, *, cache=None, cancel=None):
+            release.wait(30)
+            return {}
+
+        with JobEngine(workers=1, runner=slow_runner) as engine:
+            blocker = engine.submit(SPEC)
+            queued = engine.submit(SPEC.with_(steps=4))
+            assert engine.cancel(queued)
+            release.set()
+            with pytest.raises(JobCancelled):
+                engine.result(queued, timeout=60)
+            engine.result(blocker, timeout=60)
+
+    def test_unknown_job_id(self):
+        with JobEngine(workers=1) as engine:
+            with pytest.raises(KeyError, match="unknown job"):
+                engine.status("job-9999-deadbeef")
+
+
+# -- JSON-RPC ------------------------------------------------------------------
+
+
+class TestRpc:
+    def test_round_trip_on_ephemeral_port(self):
+        with JobEngine(workers=2) as engine:
+            server, url = start_server(engine, port=0)
+            try:
+                client = ServeClient(url)
+                assert client.ping()
+                job_id = client.submit(SPEC)
+                result = client.result(job_id, timeout=300)
+                status = client.status(job_id)
+                stats = client.stats()
+            finally:
+                server.shutdown()
+        assert result["digest"] == submit_and_wait(SPEC)["digest"]
+        assert status["state"] == "done"
+        assert stats["jobs"]["done"] >= 1
+
+    def test_rpc_errors(self):
+        from repro.serve import RpcError
+
+        with JobEngine(workers=1) as engine:
+            server, url = start_server(engine, port=0)
+            try:
+                client = ServeClient(url)
+                with pytest.raises(RpcError, match="unknown method"):
+                    client.call("explode")
+                with pytest.raises(RpcError):
+                    client.status("job-9999-deadbeef")
+            finally:
+                server.shutdown()
+
+    def test_submit_and_wait_via_server(self):
+        with JobEngine(workers=1) as engine:
+            server, url = start_server(engine, port=0)
+            try:
+                result = submit_and_wait(SPEC.with_(steps=2), server=url)
+            finally:
+                server.shutdown()
+        assert result["steps"] == 2
+
+
+# -- heavier parity (tier-2) ---------------------------------------------------
+
+
+@pytest.mark.slow
+def test_from_spec_parity_45k(ff):
+    """Paper-scale system: spec path matches the legacy constructor."""
+    spec = SimulationSpec(system="45k", steps=2, ranks=8, seed=7, nstlist=2)
+    legacy_system = make_grappa_system(45000, seed=7, ff=ff, dtype=np.float64)
+    with DDSimulator(
+        legacy_system, ff, n_ranks=8, backend="reference", executor="serial",
+        nstlist=2, buffer=0.12,
+    ) as sim:
+        sim.run(2)
+    with DDSimulator.from_spec(spec) as sim2:
+        sim2.run(2)
+    assert np.array_equal(sim2.system.positions, legacy_system.positions)
