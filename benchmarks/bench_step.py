@@ -110,6 +110,7 @@ def bench_executor(
     executor: str, n_atoms: int, ranks: int, steps: int, *,
     backend: str, seed: int, nstlist: int,
     phase_breakdown: bool = False, overlap: bool = True,
+    kernel: str = "segment", kernel_dtype: str = "float64",
 ) -> dict:
     """Steady-state ms/step for one executor (first step excluded)."""
     try:
@@ -121,6 +122,7 @@ def bench_executor(
     with DDSimulator(
         system, ff, n_ranks=ranks, backend=backend_obj, executor=executor_obj,
         nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
+        kernel=kernel, kernel_dtype=kernel_dtype,
     ) as sim:
         sim.step()  # warm-up: first neighbour search + pool spin-up
         METRICS.reset()  # count only the timed steps (rank_us, overlap, ...)
@@ -170,6 +172,12 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--steps", type=int, default=10,
                         help="timed steps per executor (after 1 warm-up step)")
     parser.add_argument("--nstlist", type=int, default=10)
+    parser.add_argument("--kernel", default="segment",
+                        choices=["segment", "cluster", "cluster-numba"],
+                        help="non-bonded kernel (repro.md.kernels registry)")
+    parser.add_argument("--kernel-dtype", default="float64",
+                        choices=["float64", "float32"],
+                        help="kernel compute precision (float32 = fast path)")
     parser.add_argument("--backend", default="reference",
                         choices=("reference", "mpi", "threadmpi", "nvshmem"))
     parser.add_argument("--executors", nargs="+",
@@ -219,6 +227,7 @@ def main(argv: list[str] | None = None) -> None:
             executor, n_atoms, args.ranks, args.steps,
             backend=args.backend, seed=args.seed, nstlist=args.nstlist,
             phase_breakdown=args.phase_breakdown, overlap=not args.no_overlap,
+            kernel=args.kernel, kernel_dtype=args.kernel_dtype,
         )
         results.append(r)
         print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step")
@@ -259,6 +268,8 @@ def main(argv: list[str] | None = None) -> None:
         "steps": args.steps,
         "nstlist": args.nstlist,
         "overlap_comm": not args.no_overlap,
+        "kernel": args.kernel,
+        "kernel_dtype": args.kernel_dtype,
         **machine_ctx,
         "results": results,
     }
@@ -303,6 +314,8 @@ def main(argv: list[str] | None = None) -> None:
                 steps=args.steps,
                 ms_per_step=r["ms_per_step"],
                 steps_per_s=r["steps_per_s"],
+                kernel=args.kernel,
+                kernel_dtype=args.kernel_dtype,
                 machine=machine_ctx,
                 phase_breakdown=r.get("phase_breakdown"),
                 imbalance=r.get("imbalance"),

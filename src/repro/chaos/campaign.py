@@ -58,6 +58,7 @@ class ChaosConfig:
     pes_per_node: int = 2  # nvshmem only: 1 = all-IB, n_ranks = all-NVLink
     executor: str = "serial"
     n_faults: int = 4
+    kernel: str = "segment"  # non-bonded kernel registry name
 
     @property
     def n_ranks(self) -> int:
@@ -96,6 +97,7 @@ class ChaosConfig:
             pes_per_node=self.pes_per_node,
             nstlist=self.nstlist,
             buffer=self.buffer,
+            kernel=self.kernel,
             seed=self.system_seed,
             n_faults=self.n_faults,
             fault_plan=fault_plan,

@@ -65,7 +65,7 @@ def _resolve_atoms(system: str) -> int:
 
 def _functional_ms_per_step(
     n_atoms: int, ranks: int, backend: str, executor: str, steps: int,
-    seed: int = 7, server: str | None = None,
+    seed: int = 7, server: str | None = None, kernel: str = "segment",
 ) -> float:
     """Wall-clock ms/step of a real DD run with the chosen executor.
 
@@ -79,7 +79,7 @@ def _functional_ms_per_step(
     spec = SimulationSpec(
         system=str(n_atoms), steps=steps, ranks=ranks,
         backend=backend, executor=executor, seed=seed,
-        nstlist=10, buffer=0.12,
+        nstlist=10, buffer=0.12, kernel=kernel,
     )
     return submit_and_wait(spec, server=server)["ms_per_step"]
 
@@ -111,7 +111,7 @@ def cmd_compare(args) -> None:
             row.append(
                 _functional_ms_per_step(
                     n_atoms, args.gpus, backend, args.executor, args.measure,
-                    server=args.server,
+                    server=args.server, kernel=args.kernel,
                 )
             )
         tbl.add_row(*row)
@@ -154,7 +154,7 @@ def cmd_scaling(args) -> None:
             row.append(
                 _functional_ms_per_step(
                     n_atoms, gpus, "nvshmem", args.executor, args.measure,
-                    server=args.server,
+                    server=args.server, kernel=args.kernel,
                 )
             )
         tbl.add_row(*row)
@@ -208,7 +208,7 @@ def _cmd_profile_functional(args) -> None:
     spec = SimulationSpec(
         kind="profile", system=str(n_atoms), steps=args.steps,
         ranks=args.ranks, backend=args.backend, executor=args.executor,
-        nstlist=10, buffer=0.12,
+        nstlist=10, buffer=0.12, kernel=args.kernel,
         overlap_comm=not getattr(args, "no_overlap", False),
     )
     want_raw_trace = bool(args.trace) and args.server is None
@@ -386,7 +386,7 @@ def cmd_verify(args) -> None:
         backend="nvshmem", executor=args.executor,
         pes_per_node=max(1, args.ranks // 2),
         nstlist=5, buffer=0.12, max_pulses=2,
-        overlap_comm=not args.no_overlap,
+        overlap_comm=not args.no_overlap, kernel=args.kernel,
     )
     want_raw_trace = bool(args.trace) and args.server is None
     if want_raw_trace:
@@ -467,6 +467,7 @@ def cmd_chaos(args) -> None:
             pes_per_node=args.pes_per_node,
             executor=args.executor,
             n_faults=args.faults,
+            kernel=args.kernel,
         )
         res = run_campaign(
             cfg, runs=args.runs, seed0=args.seed, mutation=args.mutate, log=log
@@ -520,7 +521,7 @@ def _cmd_chaos_remote(args, backends: tuple, shape: tuple) -> None:
             backend=backend, atoms=args.atoms, shape=shape,
             max_pulses=args.max_pulses, steps=args.steps,
             pes_per_node=args.pes_per_node, executor=args.executor,
-            n_faults=args.faults,
+            n_faults=args.faults, kernel=args.kernel,
         )
         for i in range(args.runs):
             plan = FaultPlan.generate(
@@ -640,6 +641,10 @@ def main(argv: list[str] | None = None) -> None:
         help="submit functional runs to a running serve instance "
              "(e.g. http://127.0.0.1:8642) instead of running in-process",
     )
+    kernel_flag = dict(
+        choices=("segment", "cluster", "cluster-numba"), default="segment",
+        help="non-bonded kernel for functional runs (repro.md.kernels)",
+    )
 
     def nonneg_int(value: str) -> int:
         n = int(value)
@@ -653,6 +658,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--machine", default="dgx-h100")
     p.add_argument("--trace", default=None, help="write both schedules as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per backend and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -664,6 +670,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--gpu-counts", type=int, nargs="+", default=[8, 16, 32, 64, 128])
     p.add_argument("--trace", default=None, help="write NVSHMEM schedules as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per GPU count and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -705,6 +712,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--functional", action="store_true",
                    help="profile a real DD run (span accounting) instead of the model")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="functional runs only: strict schedule (local forces, "
                         "halo exchange, non-local forces) with no overlap")
@@ -747,6 +755,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--trace", default=None,
                    help="record engine spans and write them as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="strict schedule (local forces, halo exchange, "
                         "non-local forces) with no comm-compute overlap")
@@ -771,6 +780,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--pes-per-node", type=int, default=2,
                    help="nvshmem topology: 1 = all-IB, n_ranks = all-NVLink")
     p.add_argument("--executor", **executor_flag)
+    p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--faults", type=int, default=4, help="faults per plan")
     p.add_argument("--mutate", default=None,
                    help="apply a protocol mutation (self-test); see "

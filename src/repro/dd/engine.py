@@ -140,6 +140,13 @@ class DDSimulator:
     #: comm–compute overlap).  ``False`` forces the strict schedule on
     #: every executor: local forces, full exchange, non-local forces.
     overlap_comm: bool = True
+    #: Non-bonded kernel implementation (``repro.md.kernels`` registry
+    #: name): "segment" (default flat path), "cluster" (M×N cluster-pair
+    #: NumPy), or "cluster-numba" (compiled tiles; needs numba).
+    kernel: str = "segment"
+    #: Kernel compute precision: "float64" (default, bit-exact reference)
+    #: or "float32" (the mixed-precision fast path).
+    kernel_dtype: str = "float64"
     topology: "object | None" = None
     #: Optional hook replacing :func:`repro.dd.exchange.build_cluster` at
     #: neighbour search: called as ``cluster_factory(sim)`` and must return
@@ -180,11 +187,20 @@ class DDSimulator:
                 beta=beta,
                 max_atoms_per_rank=int(2.0 * self.system.n_atoms / self.n_ranks) + 64,
             )
-            self._kernel = NonbondedKernel(self.ff, coulomb="ewald", ewald_beta=beta)
+            self._kernel = NonbondedKernel(
+                self.ff, coulomb="ewald", ewald_beta=beta,
+                name=self.kernel, dtype=self.kernel_dtype,
+            )
         elif self.coulomb == "rf":
-            self._kernel = NonbondedKernel(self.ff)
+            self._kernel = NonbondedKernel(
+                self.ff, name=self.kernel, dtype=self.kernel_dtype
+            )
         else:
             raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
+        # Resolve the kernel implementation now so an unknown name or a
+        # missing optional dependency (cluster-numba without numba) fails
+        # at construction, not mid-run inside an executor worker.
+        self._kernel.impl
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._periodic = np.array([self.grid.shape[d] == 1 for d in range(3)])
         self.executor = _executor
@@ -258,6 +274,8 @@ class DDSimulator:
             max_pulses=spec.max_pulses,
             coulomb=spec.coulomb,
             overlap_comm=spec.overlap_comm,
+            kernel=getattr(spec, "kernel", "segment"),
+            kernel_dtype=getattr(spec, "kernel_dtype", "float64"),
             cluster_factory=cluster_factory,
         )
 

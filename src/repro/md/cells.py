@@ -191,6 +191,264 @@ def periodic_cell_list(box: np.ndarray, cutoff: float) -> CellList:
     return CellList(lo=np.zeros(3), hi=box, cutoff=cutoff, periodic=np.ones(3, dtype=bool))
 
 
+# -- cluster layout (the GROMACS M×N scheme's atom grouping) -------------------
+
+
+@dataclass
+class ClusterLayout:
+    """Atoms grouped into fixed-size clusters along the spatial ordering.
+
+    This is the layout under the M×N cluster-pair scheme (Páll et al.
+    2020): atoms are binned into x/y columns sized so an ``m``-atom
+    cluster is roughly cubic at the local density, sorted by z within
+    each column, and chunked into clusters of ``m`` consecutive atoms.
+    Clusters never straddle columns — each column pads its last cluster
+    instead — which keeps bounding radii tight (a straddling cluster
+    would span two distant z-ranges and blow up the candidate search).
+
+    ``atoms`` holds *global* atom indices with the sentinel ``n_total``
+    in padding slots, so a position array padded with one extra row can
+    be gathered with ``positions_padded[atoms]`` without branching.
+    """
+
+    atoms: np.ndarray    # (C, m) int64; padding slots hold ``n_total``
+    valid: np.ndarray    # (C, m) bool
+    centers: np.ndarray  # (C, 3) float64 bounding-box midpoints
+    radii: np.ndarray    # (C,) float64 bounding-sphere radii around centers
+    half: np.ndarray     # (C, 3) float64 bounding-box half extents
+    m: int
+    n_total: int         # sentinel value (rows in the padded position array)
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.atoms.shape[0])
+
+
+def build_clusters(
+    positions: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    m: int,
+    *,
+    index_offset: int = 0,
+    n_total: int | None = None,
+) -> ClusterLayout:
+    """Group ``positions`` rows into :class:`ClusterLayout` clusters of ``m``.
+
+    ``positions`` may be a subset of a larger array (e.g. only the halo
+    rows): ``index_offset`` maps subset row ``k`` to global index
+    ``k + index_offset`` and ``n_total`` sets the padding sentinel (the
+    row count of the full array).  Column count is density-matched: the
+    ideal cluster cube side is ``(m / rho)^(1/3)``, so columns hold a few
+    clusters' worth of atoms each and z-chunking yields compact clusters.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    k = positions.shape[0]
+    if n_total is None:
+        n_total = k + index_offset
+    if k == 0:
+        return ClusterLayout(
+            atoms=np.zeros((0, m), dtype=np.int64),
+            valid=np.zeros((0, m), dtype=bool),
+            centers=np.zeros((0, 3)),
+            radii=np.zeros(0),
+            half=np.zeros((0, 3)),
+            m=m,
+            n_total=int(n_total),
+        )
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    ext = np.maximum(hi - lo, 1e-9)
+    rho = k / float(np.prod(ext))
+    side = (m / max(rho, 1e-12)) ** (1.0 / 3.0)
+    nx = max(1, int(round(ext[0] / side)))
+    ny = max(1, int(round(ext[1] / side)))
+    cx = np.clip(((positions[:, 0] - lo[0]) / ext[0] * nx).astype(np.int64), 0, nx - 1)
+    cy = np.clip(((positions[:, 1] - lo[1]) / ext[1] * ny).astype(np.int64), 0, ny - 1)
+    col = cx * ny + cy
+    order = np.lexsort((positions[:, 2], col))
+    col_sorted = col[order]
+    counts = np.bincount(col_sorted, minlength=nx * ny)
+    # Per-column chunking: column c contributes ceil(counts[c] / m)
+    # clusters starting at col_base[c]; the last one is padded.
+    ncl_per_col = (counts + m - 1) // m
+    col_base = np.concatenate(([0], np.cumsum(ncl_per_col)))
+    col_start = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    rank_in_col = np.arange(k) - np.repeat(col_start, counts)
+    cid = col_base[col_sorted] + rank_in_col // m
+    slot = rank_in_col % m
+    n_clusters = int(col_base[-1])
+    atoms = np.full((n_clusters, m), n_total, dtype=np.int64)
+    atoms[cid, slot] = order + index_offset
+    valid = atoms < n_total
+    padded = np.vstack([positions, np.zeros((1, 3))])
+    local = np.where(valid, atoms - index_offset, k)
+    xp = padded[local]
+    big = np.where(valid[:, :, None], xp, -np.inf)
+    small = np.where(valid[:, :, None], xp, np.inf)
+    bb_hi = big.max(axis=1)
+    bb_lo = small.min(axis=1)
+    centers = 0.5 * (bb_hi + bb_lo)
+    half = 0.5 * (bb_hi - bb_lo)
+    d = np.where(valid[:, :, None], xp - centers[:, None, :], 0.0)
+    radii = np.sqrt((d * d).sum(axis=-1).max(axis=1))
+    return ClusterLayout(
+        atoms=atoms, valid=valid, centers=centers, radii=radii, half=half,
+        m=m, n_total=int(n_total),
+    )
+
+
+def cluster_pair_candidates(
+    a: ClusterLayout,
+    b: ClusterLayout,
+    r_list: float,
+    box: np.ndarray,
+    periodic: np.ndarray,
+    same: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster pairs whose bounding volumes may hold an ``r_list`` pair.
+
+    Two conservative prefilters run in sequence; neither ever drops a
+    real candidate, and the mask stage makes the final exact decision.
+
+    1. Bounding *spheres*, over all center pairs (chunked): pair
+       ``(ci, cj)`` survives iff the minimum-image center distance is at
+       most ``r_list + radius_a + radius_b`` (a 1.0001 slack absorbs
+       rounding).  Sound because for any atom pair within ``r_list`` in
+       some periodic image, the center distance *in that image* is
+       bounded by ``r_list + ra + rb`` and the minimum image is no
+       larger.  The squared distance splits into one GEMM over the
+       non-periodic dimensions (the norm expansion ``|a|^2 + |b|^2 -
+       2 a.b``) plus explicit per-dimension minimum-image terms along
+       periodic ones — taken by comparison against the half box, valid
+       because centers lie within one box length of each other.
+    2. Bounding *boxes*, over the sphere survivors: clusters are chunks
+       of z-sorted columns and hence elongated, so the axis-aligned
+       separation ``sum_d max(0, |dc_d| - (half_a + half_b))^2 >
+       r_list^2`` prunes a large fraction the sphere bound keeps.  The
+       per-dimension minimum-image ``|dc_d|`` never exceeds the distance
+       in the interacting image, so the test is conservative too.
+
+    The mask stage re-derives the image per atom pair (centers and
+    atoms can prefer different images when the box is small), so no
+    shift is returned.  When ``same`` is true only the upper triangle
+    ``ci <= cj`` is emitted (self pairs included; the mask stage
+    triu-filters those).
+    """
+    n_a, n_b = a.n_clusters, b.n_clusters
+    if n_a == 0 or n_b == 0:
+        return np.zeros(0, np.int64), np.zeros(0, np.int64)
+    ca, cb = a.centers, b.centers
+    boxd = np.asarray(box, dtype=np.float64)
+    per = [d for d in range(3) if periodic[d]]
+    free = [d for d in range(3) if not periodic[d]]
+    slack = float(r_list) * 1.0001
+    caf = ca[:, free]
+    cbf = cb[:, free]
+    na_free = np.einsum("ij,ij->i", caf, caf)
+    nb_free = np.einsum("ij,ij->i", cbf, cbf)
+    cbt = np.ascontiguousarray(cbf.T)
+    jdx = np.arange(n_b)
+    out_i: list[np.ndarray] = []
+    out_j: list[np.ndarray] = []
+    chunk = max(1, int(6e6 // max(n_b, 1)))
+    for s in range(0, n_a, chunk):
+        e = min(n_a, s + chunk)
+        d2 = caf[s:e] @ cbt
+        d2 *= -2.0
+        d2 += na_free[s:e, None]
+        d2 += nb_free[None, :]
+        for d in per:
+            dd = np.abs(ca[s:e, None, d] - cb[None, :, d])
+            np.minimum(dd, boxd[d] - dd, out=dd)
+            d2 += dd * dd
+        lim = slack + a.radii[s:e, None] + b.radii[None, :]
+        keep = d2 <= lim * lim
+        if same:
+            keep &= np.arange(s, e)[:, None] <= jdx[None, :]
+        ii, jj = np.nonzero(keep)
+        out_i.append(ii + s)
+        out_j.append(jj)
+    ci = np.concatenate(out_i).astype(np.int64)
+    cj = np.concatenate(out_j).astype(np.int64)
+    if ci.size:
+        sep2 = np.zeros(ci.size)
+        for d in range(3):
+            dd = np.abs(ca[ci, d] - cb[cj, d])
+            if periodic[d]:
+                np.minimum(dd, boxd[d] - dd, out=dd)
+            dd -= a.half[ci, d] + b.half[cj, d]
+            np.maximum(dd, 0.0, out=dd)
+            dd *= dd
+            sep2 += dd
+        keep = sep2 <= slack * slack
+        ci, cj = ci[keep], cj[keep]
+    return ci, cj
+
+
+def cluster_tile_masks(
+    positions: np.ndarray,
+    a: ClusterLayout,
+    b: ClusterLayout,
+    ci: np.ndarray,
+    cj: np.ndarray,
+    r_list: float,
+    box: np.ndarray,
+    periodic: np.ndarray,
+    same: bool,
+) -> np.ndarray:
+    """Exact per-tile interaction masks, shape ``(T, a.m, b.m)`` bool.
+
+    For each candidate cluster pair the full M×N distance tile is
+    evaluated in float64 with the minimum image taken *per atom pair*
+    along periodic dimensions — the same convention as the flat kernels,
+    and necessary in general: the image nearest two cluster centers need
+    not be the image nearest every atom pair in the tile.  The squared
+    distance accumulates as one batched GEMM over the non-periodic
+    dimensions (norm expansion, which avoids materializing the
+    ``(T, m, n, 3)`` displacement tensor) plus explicit minimum-image
+    terms per periodic dimension.  A pair slot is set iff both slots are
+    real atoms and ``r <= r_list``.  For ``same`` layouts the diagonal
+    tiles (``ci == cj``) keep only the strict upper triangle so each
+    unordered pair appears exactly once.
+    """
+    m_a, m_b = a.m, b.m
+    padded = np.vstack([np.asarray(positions, dtype=np.float64),
+                        np.zeros((1, 3))])
+    n_tiles = int(ci.size)
+    masks = np.empty((n_tiles, m_a, m_b), dtype=bool)
+    boxd = np.asarray(box, dtype=np.float64)
+    per = [d for d in range(3) if periodic[d]]
+    free = [d for d in range(3) if not periodic[d]]
+    tri = np.triu(np.ones((m_a, m_b), dtype=bool), k=1) if same else None
+    r_list2 = r_list * r_list
+    chunk = max(1, int(4e6 // (m_a * m_b)))
+    for s in range(0, n_tiles, chunk):
+        e = min(n_tiles, s + chunk)
+        xi = padded[a.atoms[ci[s:e]]]
+        xj = padded[b.atoms[cj[s:e]]]
+        xif = xi[..., free]
+        xjf = xj[..., free]
+        r2 = np.matmul(xif, np.swapaxes(xjf, 1, 2))
+        r2 *= -2.0
+        r2 += np.einsum("tmk,tmk->tm", xif, xif)[:, :, None]
+        r2 += np.einsum("tnk,tnk->tn", xjf, xjf)[:, None, :]
+        for d in per:
+            dz = xi[:, :, None, d] - xj[:, None, :, d]
+            dz -= np.rint(dz / boxd[d]) * boxd[d]
+            dz *= dz
+            r2 += dz
+        msk = (
+            (r2 <= r_list2)
+            & a.valid[ci[s:e]][:, :, None]
+            & b.valid[cj[s:e]][:, None, :]
+        )
+        if same:
+            msk[ci[s:e] == cj[s:e]] &= tri
+        masks[s:e] = msk
+    return masks
+
+
 def open_cell_list(positions: np.ndarray, cutoff: float) -> CellList:
     """Cell list over the bounding box of ``positions``, fully non-periodic."""
     positions = np.asarray(positions, dtype=np.float64)

@@ -165,7 +165,7 @@ class PairBlock:
     """
 
     __slots__ = (
-        "i", "j", "n_atoms", "seg_starts", "seg_i",
+        "i", "j", "n_atoms", "seg_starts", "seg_i", "mask",
         "c6", "c12", "c12_12", "c6_6", "qq", "e_shift", "_scratch",
     )
 
@@ -178,13 +178,22 @@ class PairBlock:
         ff: ForceField,
         n_atoms: int,
         group_key: np.ndarray | None = None,
+        mask: np.ndarray | None = None,
     ) -> None:
         i = np.ascontiguousarray(pair_i, dtype=np.int64)
         j = np.ascontiguousarray(pair_j, dtype=np.int64)
         if i.shape != j.shape:
             raise ValueError("pair arrays must have equal shape")
+        if mask is not None:
+            mask = np.ascontiguousarray(mask, dtype=bool)
+            if mask.shape != i.shape:
+                raise ValueError("mask must match the pair arrays")
         self.i = i
         self.j = j
+        # Static validity mask: entries with mask False never interact
+        # (e.g. padding slots of a dense cluster layout).  None means all
+        # entries are real.
+        self.mask = mask
         self.n_atoms = int(n_atoms)
         if i.size:
             change = i[1:] != i[:-1]
@@ -219,6 +228,26 @@ class PairBlock:
             b = self._scratch[name] = np.empty(shape, dtype=dtype)
         return b
 
+    def params(self, dtype) -> tuple:
+        """``(c12_12, c6_6, c12, c6, qq, e_shift)`` cast to ``dtype``.
+
+        The float64 originals are returned as-is; lower-precision copies
+        (the float32 fast path) are cached in scratch so casting happens
+        once per list, not per step.
+        """
+        if np.dtype(dtype) == np.float64:
+            return (self.c12_12, self.c6_6, self.c12, self.c6,
+                    self.qq, self.e_shift)
+        key = f"_params_{np.dtype(dtype).name}"
+        cached = self._scratch.get(key)
+        if cached is None:
+            cached = tuple(
+                getattr(self, name).astype(dtype)
+                for name in ("c12_12", "c6_6", "c12", "c6", "qq", "e_shift")
+            )
+            self._scratch[key] = cached
+        return cached
+
 
 def block_forces(
     positions: np.ndarray,
@@ -229,6 +258,7 @@ def block_forces(
     out_forces: np.ndarray | None = None,
     coulomb: str = "rf",
     ewald_beta: float = 0.0,
+    dtype=np.float64,
 ) -> tuple[np.ndarray, float, float]:
     """Segment-reduced twin of :func:`pair_forces` over a :class:`PairBlock`.
 
@@ -238,6 +268,13 @@ def block_forces(
     ``i``-segments and ``bincount`` over ``j`` instead of two ``add.at``
     scatters — so per-atom results agree to accumulation-order rounding.
     Out-of-cutoff pairs are masked (zeroed) rather than compacted.
+
+    ``dtype=np.float32`` selects the fast path: geometry, parameters, and
+    the interaction chain run in float32 while energy sums and per-atom
+    force accumulation stay float64 (mixed precision, the GPU convention).
+    The overlap (``r == 0``) check considers only pairs that are inside
+    the cutoff *and* unmasked — buffered lists legitimately carry distant
+    or padded entries whose coordinates may coincide after wrapping.
     """
     positions = np.asarray(positions)
     n = positions.shape[0]
@@ -252,81 +289,106 @@ def block_forces(
     m = block.n_pairs
     if m == 0:
         return out_forces, 0.0, 0.0
-    pos = positions if positions.dtype == np.float64 else positions.astype(np.float64)
+    dt = np.dtype(dtype)
+    if dt == np.float64:
+        pos = positions if positions.dtype == np.float64 else positions.astype(np.float64)
+    else:
+        pos = block.buf("pos_dt", (n, 3), dt)
+        np.copyto(pos, positions)
+    sc = dt.type  # scalar-constant cast; a no-op for float64
 
-    xi = block.buf("xi", (m, 3))
-    xj = block.buf("xj", (m, 3))
+    xi = block.buf("xi", (m, 3), dt)
+    xj = block.buf("xj", (m, 3), dt)
     np.take(pos, block.i, axis=0, out=xi)
     np.take(pos, block.j, axis=0, out=xj)
     dx = np.subtract(xi, xj, out=xi)
     if box is not None:
-        box64 = np.asarray(box, dtype=np.float64)
-        shift = np.divide(dx, box64, out=xj)
-        np.rint(shift, out=shift)
-        shift *= box64
-        if periodic is not None:
-            shift *= np.asarray(periodic, dtype=bool)
-        dx -= shift
-    r2 = np.einsum("ij,ij->i", dx, dx, out=block.buf("r2", (m,)))
+        # Minimum image per periodic dim only: DD rank domains are
+        # mostly (often fully) non-periodic, and skipping the wrapped
+        # divide/rint there is a real per-step saving.  Bit-compatible
+        # with the all-dims form — the shift was exactly zero anyway.
+        box_dt = np.asarray(box, dtype=dt)
+        for d in range(3):
+            if periodic is not None and not periodic[d]:
+                continue
+            col = dx[:, d]
+            shift = np.divide(col, box_dt[d], out=xj[:, d])
+            np.rint(shift, out=shift)
+            shift *= box_dt[d]
+            col -= shift
+    r2 = np.einsum("ij,ij->i", dx, dx, out=block.buf("r2", (m,), dt))
 
     rc2 = ff.cutoff * ff.cutoff
     inside = np.less_equal(r2, rc2, out=block.buf("inside", (m,), dtype=bool))
+    if block.mask is not None:
+        inside &= block.mask
     if not np.any(inside):
         return out_forces, 0.0, 0.0
-    if np.any(r2 <= 0):
+    # Overlap check on interacting pairs only: masked or out-of-cutoff
+    # entries may sit at r == 0 (padding, wrapped far images) harmlessly.
+    bad = np.less_equal(r2, 0.0, out=block.buf("bad", (m,), dtype=bool))
+    bad &= inside
+    if np.any(bad):
         raise FloatingPointError("overlapping atoms in pair list (r == 0)")
+    # Give non-interacting entries a dummy finite distance before the
+    # reciprocal chain: ``fscal *= inside`` zeroes them later, but a
+    # coincident masked entry would put inf into the chain and inf * 0
+    # is nan, which the reductions would smear across the segment.
+    outside = np.logical_not(inside, out=bad)
+    np.copyto(r2, sc(1.0), where=outside)
 
-    inv_r2 = np.divide(1.0, r2, out=block.buf("inv_r2", (m,)))
-    inv_r6 = np.multiply(inv_r2, inv_r2, out=block.buf("inv_r6", (m,)))
+    c12_12, c6_6, c12, c6, qq, e_shift = block.params(dt)
+    inv_r2 = np.divide(sc(1.0), r2, out=block.buf("inv_r2", (m,), dt))
+    inv_r6 = np.multiply(inv_r2, inv_r2, out=block.buf("inv_r6", (m,), dt))
     inv_r6 *= inv_r2
-    inv_r12 = np.multiply(inv_r6, inv_r6, out=block.buf("inv_r12", (m,)))
-    inv_r = np.sqrt(inv_r2, out=block.buf("inv_r", (m,)))
+    inv_r12 = np.multiply(inv_r6, inv_r6, out=block.buf("inv_r12", (m,), dt))
+    inv_r = np.sqrt(inv_r2, out=block.buf("inv_r", (m,), dt))
 
     # fscal and per-pair energies, in the exact evaluation order of
-    # pair_forces so per-pair results match it bit for bit.
-    f_lj = np.multiply(block.c12_12, inv_r12, out=block.buf("f_lj", (m,)))
-    t = np.multiply(block.c6_6, inv_r6, out=block.buf("t", (m,)))
+    # pair_forces so per-pair results match it bit for bit (in float64).
+    f_lj = np.multiply(c12_12, inv_r12, out=block.buf("f_lj", (m,), dt))
+    t = np.multiply(c6_6, inv_r6, out=block.buf("t", (m,), dt))
     f_lj -= t
     f_lj *= inv_r2
     if coulomb == "rf":
-        f_coul = np.multiply(inv_r, inv_r2, out=block.buf("f_coul", (m,)))
-        f_coul -= 2.0 * ff.k_rf
-        f_coul *= block.qq
-        e_c = np.multiply(ff.k_rf, r2, out=block.buf("e_c", (m,)))
+        f_coul = np.multiply(inv_r, inv_r2, out=block.buf("f_coul", (m,), dt))
+        f_coul -= sc(2.0 * ff.k_rf)
+        f_coul *= qq
+        e_c = np.multiply(sc(ff.k_rf), r2, out=block.buf("e_c", (m,), dt))
         e_c += inv_r
-        e_c -= ff.c_rf
-        e_c *= block.qq
+        e_c -= sc(ff.c_rf)
+        e_c *= qq
     elif coulomb == "ewald":
         if ewald_beta <= 0.0:
             raise ValueError("coulomb='ewald' requires a positive ewald_beta")
         from scipy.special import erfc
 
-        r = np.sqrt(r2, out=block.buf("r", (m,)))
-        screened = erfc(ewald_beta * r)
+        r = np.sqrt(r2, out=block.buf("r", (m,), dt))
+        screened = erfc(sc(ewald_beta) * r)
         gauss = (
-            2.0 * ewald_beta / np.sqrt(np.pi) * np.exp(-((ewald_beta * r) ** 2))
+            2.0 * ewald_beta / np.sqrt(np.pi) * np.exp(-((sc(ewald_beta) * r) ** 2))
         )
-        f_coul = np.multiply(screened, inv_r, out=block.buf("f_coul", (m,)))
+        f_coul = np.multiply(screened, inv_r, out=block.buf("f_coul", (m,), dt))
         f_coul += gauss
-        f_coul *= block.qq
+        f_coul *= qq
         f_coul *= inv_r2
-        e_c = np.multiply(block.qq, screened, out=block.buf("e_c", (m,)))
+        e_c = np.multiply(qq, screened, out=block.buf("e_c", (m,), dt))
         e_c *= inv_r
     else:
         raise ValueError(f"unknown coulomb mode '{coulomb}' (use 'rf' or 'ewald')")
     fscal = f_lj
     fscal += f_coul
     fscal *= inside
-    fvec = np.multiply(fscal[:, None], dx, out=block.buf("fvec", (m, 3)))
+    fvec = np.multiply(fscal[:, None], dx, out=block.buf("fvec", (m, 3), dt))
 
-    e_l = np.multiply(block.c12, inv_r12, out=block.buf("e_l", (m,)))
-    t = np.multiply(block.c6, inv_r6, out=t)
+    e_l = np.multiply(c12, inv_r12, out=block.buf("e_l", (m,), dt))
+    t = np.multiply(c6, inv_r6, out=t)
     e_l -= t
-    e_l -= block.e_shift
+    e_l -= e_shift
     e_l *= inside
-    e_lj = float(np.sum(e_l))
+    e_lj = float(np.sum(e_l, dtype=np.float64))
     e_c *= inside
-    e_coul = float(np.sum(e_c))
+    e_coul = float(np.sum(e_c, dtype=np.float64))
 
     # Segment reduction: i-side via reduceat over the sorted segments
     # (seg_i may repeat across group-key boundaries, hence add.at on the
@@ -341,13 +403,202 @@ def block_forces(
     return out_forces, e_lj, e_coul
 
 
+class ClusterPairBlock(PairBlock):
+    """A :class:`PairBlock` that also carries its cluster-tile structure.
+
+    The flat ``i``/``j`` entries (and everything :func:`block_forces`
+    needs) are exactly the masked tile slots, extracted and canonically
+    sorted at build time — so the NumPy path runs the same segment chain
+    as a plain block.  The tile arrays describe the same pair set in the
+    M×N layout the dense/compiled kernels consume: per tile, the global
+    atom indices of its two clusters (``n_atoms`` as the padding
+    sentinel) and the boolean slot mask; periodic images are resolved per
+    atom pair at evaluation time (minimum image along periodic dims),
+    the same convention as the flat kernels.
+    """
+
+    __slots__ = (
+        "tile_atoms_i", "tile_atoms_j", "tile_masks",
+        "type_ids", "charges",
+    )
+
+    def __init__(
+        self,
+        pair_i: np.ndarray,
+        pair_j: np.ndarray,
+        type_ids: np.ndarray,
+        charges: np.ndarray,
+        ff: ForceField,
+        n_atoms: int,
+        group_key: np.ndarray | None = None,
+        *,
+        tile_atoms_i: np.ndarray,
+        tile_atoms_j: np.ndarray,
+        tile_masks: np.ndarray,
+    ) -> None:
+        super().__init__(
+            pair_i, pair_j, type_ids, charges, ff,
+            n_atoms=n_atoms, group_key=group_key,
+        )
+        self.tile_atoms_i = tile_atoms_i
+        self.tile_atoms_j = tile_atoms_j
+        self.tile_masks = tile_masks
+        self.type_ids = type_ids
+        self.charges = charges
+
+    @property
+    def n_tiles(self) -> int:
+        return int(self.tile_masks.shape[0])
+
+
+def cluster_forces_dense(
+    positions: np.ndarray,
+    block: ClusterPairBlock,
+    ff: ForceField,
+    box: np.ndarray | None = None,
+    periodic: np.ndarray | None = None,
+    out_forces: np.ndarray | None = None,
+    coulomb: str = "rf",
+    ewald_beta: float = 0.0,
+    dtype=np.float64,
+) -> tuple[np.ndarray, float, float]:
+    """Dense M×N tile evaluation of a :class:`ClusterPairBlock`.
+
+    The correctness twin of the compiled cluster kernels: every tile is
+    evaluated as a full (M, N) distance block with masked slots neutral-
+    ized via ``where`` (no compaction), then reduced per cluster row and
+    column.  Minimum-image wrapping per atom pair along periodic dims —
+    the same ``box``/``periodic`` convention as :func:`block_forces`.
+    Pair-level results match :func:`pair_forces` on the flat view of the
+    same list; per-atom sums differ only by accumulation order.
+    """
+    positions = np.asarray(positions)
+    n = positions.shape[0]
+    if n != block.n_atoms:
+        raise ValueError(
+            f"positions have {n} rows but the block was built for {block.n_atoms}"
+        )
+    if out_forces is None:
+        out_forces = np.zeros((n, 3), dtype=positions.dtype)
+    elif out_forces.shape != (n, 3):
+        raise ValueError(f"out_forces must have shape ({n}, 3)")
+    n_tiles = block.n_tiles
+    if n_tiles == 0 or block.n_pairs == 0:
+        return out_forces, 0.0, 0.0
+    dt = np.dtype(dtype)
+    sc = dt.type
+    padded = np.vstack([positions.astype(dt), np.zeros((1, 3), dtype=dt)])
+    ai = block.tile_atoms_i  # (T, M), sentinel n
+    aj = block.tile_atoms_j  # (T, N)
+    xi = padded[ai]
+    xj = padded[aj]
+    dx = xi[:, :, None, :] - xj[:, None, :, :]
+    if box is not None:
+        box_dt = np.asarray(box, dtype=dt)
+        for d in range(3):
+            if periodic is None or periodic[d]:
+                dx[..., d] -= np.rint(dx[..., d] / box_dt[d]) * box_dt[d]
+    r2 = np.einsum("tmnk,tmnk->tmn", dx, dx)
+
+    rc2 = ff.cutoff * ff.cutoff
+    ok = block.tile_masks & (r2 <= rc2)
+    if not np.any(ok):
+        return out_forces, 0.0, 0.0
+    if np.any(ok & (r2 <= 0)):
+        raise FloatingPointError("overlapping atoms in pair list (r == 0)")
+    r2 = np.where(ok, r2, sc(1.0))  # neutralize masked slots (no inf/nan)
+
+    types_p = np.concatenate([block.type_ids, [0]])
+    q_p = np.concatenate([block.charges.astype(dt), [sc(0.0)]])
+    ti = types_p[ai]
+    tj = types_p[aj]
+    c6 = ff.c6[ti[:, :, None], tj[:, None, :]].astype(dt)
+    c12 = ff.c12[ti[:, :, None], tj[:, None, :]].astype(dt)
+    qq = sc(COULOMB_FACTOR) * q_p[ai][:, :, None] * q_p[aj][:, None, :]
+
+    inv_r2 = sc(1.0) / r2
+    inv_r6 = inv_r2 * inv_r2 * inv_r2
+    inv_r12 = inv_r6 * inv_r6
+    inv_r = np.sqrt(inv_r2)
+    f_lj = (sc(12.0) * c12 * inv_r12 - sc(6.0) * c6 * inv_r6) * inv_r2
+    if coulomb == "rf":
+        f_coul = qq * (inv_r * inv_r2 - sc(2.0 * ff.k_rf))
+        e_c = qq * (inv_r + sc(ff.k_rf) * r2 - sc(ff.c_rf))
+    elif coulomb == "ewald":
+        if ewald_beta <= 0.0:
+            raise ValueError("coulomb='ewald' requires a positive ewald_beta")
+        from scipy.special import erfc
+
+        r = np.sqrt(r2)
+        screened = erfc(sc(ewald_beta) * r)
+        gauss = (
+            2.0 * ewald_beta / np.sqrt(np.pi)
+            * np.exp(-((sc(ewald_beta) * r) ** 2))
+        )
+        f_coul = qq * (screened * inv_r + gauss) * inv_r2
+        e_c = qq * screened * inv_r
+    else:
+        raise ValueError(f"unknown coulomb mode '{coulomb}' (use 'rf' or 'ewald')")
+    fscal = (f_lj + f_coul) * ok
+    fvec = fscal[..., None] * dx
+
+    rc_inv6 = 1.0 / rc2**3
+    e_shift = c12 * sc(rc_inv6 * rc_inv6) - c6 * sc(rc_inv6)
+    e_l = (c12 * inv_r12 - c6 * inv_r6 - e_shift) * ok
+    e_lj = float(np.sum(e_l, dtype=np.float64))
+    e_coul = float(np.sum(e_c * ok, dtype=np.float64))
+
+    # Per-cluster row/column reduction, then one bincount per component
+    # (sentinel rows land in the padding bin n and are dropped).
+    idx_i = ai.ravel()
+    idx_j = aj.ravel()
+    for c in range(3):
+        col = fvec[..., c]
+        rows = col.sum(axis=2, dtype=np.float64).ravel()
+        cols = col.sum(axis=1, dtype=np.float64).ravel()
+        acc = np.bincount(idx_i, weights=rows, minlength=n + 1)[:n]
+        acc -= np.bincount(idx_j, weights=cols, minlength=n + 1)[:n]
+        out_forces[:, c] += acc.astype(out_forces.dtype, copy=False)
+    return out_forces, e_lj, e_coul
+
+
 @dataclass
 class NonbondedKernel:
-    """Convenience wrapper binding a force field to the pair-force kernel."""
+    """Force field + registry-selected non-bonded implementation.
+
+    ``name`` picks the implementation from :mod:`repro.md.kernels`
+    (``"segment"``, ``"cluster"``, ``"cluster-numba"``); ``dtype`` is the
+    kernel compute precision (``"float64"`` or the documented
+    ``"float32"`` fast path).  The implementation object is resolved
+    lazily — and dropped on pickling — so a :class:`NonbondedKernel`
+    travels to process workers as plain configuration and each worker
+    materializes its own impl (compiled dispatchers are unpicklable).
+    """
 
     ff: ForceField
     coulomb: str = "rf"
     ewald_beta: float = 0.0
+    name: str = "segment"
+    dtype: str = "float64"
+
+    @property
+    def impl(self):
+        """The resolved kernel implementation (cached; never pickled)."""
+        impl = self.__dict__.get("_impl")
+        if impl is None:
+            from repro.md.kernels import make_kernel
+
+            impl = make_kernel(self.name, dtype=self.dtype)
+            self.__dict__["_impl"] = impl
+        return impl
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_impl", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     def compute(
         self,
@@ -383,8 +634,8 @@ class NonbondedKernel:
         periodic: np.ndarray | None = None,
         out_forces: np.ndarray | None = None,
     ) -> tuple[np.ndarray, float, float]:
-        """See :func:`block_forces` (the segment-reduced hot path)."""
-        return block_forces(
+        """Force evaluation over a block, via the registry implementation."""
+        return self.impl.compute_block(
             positions,
             block,
             self.ff,

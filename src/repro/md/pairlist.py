@@ -21,7 +21,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.md.cells import CellList, periodic_cell_list
+from repro.md.cells import (
+    CellList,
+    ClusterLayout,
+    build_clusters,
+    cluster_pair_candidates,
+    cluster_tile_masks,
+    periodic_cell_list,
+)
 from repro.obs.metrics import METRICS
 
 
@@ -72,6 +79,38 @@ class VerletListBuilder:
             raise ValueError("nstlist must be >= 1")
         self.r_list = self.cutoff + self.buffer
         self._cells: CellList = periodic_cell_list(self.box, self.r_list)
+        self._scratch: dict[str, np.ndarray] = {}
+
+    def _buf(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """Reusable scratch buffer (the ``PairBlock.buf`` pattern)."""
+        b = self._scratch.get(name)
+        if b is None or b.shape != shape or b.dtype != dtype:
+            b = self._scratch[name] = np.empty(shape, dtype=dtype)
+        return b
+
+    def _max_displacement(self, pairs, positions: np.ndarray) -> float:
+        """Max atom displacement since the reference build, in scratch.
+
+        Publishes the ``pairlist.max_disp`` gauge so rebuild pressure
+        (how close the system runs to the ``buffer/2`` trigger) is
+        observable without instrumenting callers.
+        """
+        n = positions.shape[0]
+        if n == 0:
+            METRICS.gauge("pairlist.max_disp").set(0.0)
+            return 0.0
+        disp = self._buf("disp", (n, 3))
+        np.subtract(positions, pairs.ref_positions, out=disp)
+        # Minimum-image the displacement: atoms may have been re-wrapped.
+        wrap = self._buf("wrap", (n, 3))
+        np.divide(disp, self.box, out=wrap)
+        np.rint(wrap, out=wrap)
+        wrap *= self.box
+        disp -= wrap
+        d2 = np.einsum("ij,ij->i", disp, disp, out=self._buf("d2", (n,)))
+        max_disp = float(np.sqrt(d2.max()))
+        METRICS.gauge("pairlist.max_disp").set(max_disp)
+        return max_disp
 
     def build(self, positions: np.ndarray) -> PairList:
         """Full neighbour search at the buffered radius."""
@@ -95,11 +134,7 @@ class VerletListBuilder:
         """
         if pairs.steps_since_build >= self.nstlist:
             return True
-        disp = positions - pairs.ref_positions
-        # Minimum-image the displacement: atoms may have been re-wrapped.
-        disp -= np.rint(disp / self.box) * self.box
-        max_disp = float(np.sqrt(np.max(np.einsum("ij,ij->i", disp, disp)))) if len(disp) else 0.0
-        return max_disp > 0.5 * self.buffer
+        return self._max_displacement(pairs, positions) > 0.5 * self.buffer
 
     def prune(self, pairs: PairList, positions: np.ndarray) -> PairList:
         """Rolling prune: drop pairs that cannot interact before next rebuild.
@@ -111,10 +146,19 @@ class VerletListBuilder:
         ``r_c + 2*buffer`` is always safe regardless of elapsed steps.
         """
         keep_r = self.cutoff + 2.0 * self.buffer
-        dx = positions[pairs.i].astype(np.float64) - positions[pairs.j].astype(np.float64)
-        dx -= np.rint(dx / self.box) * self.box
-        r2 = np.einsum("ij,ij->i", dx, dx)
-        mask = r2 <= keep_r * keep_r
+        pos = positions if positions.dtype == np.float64 else positions.astype(np.float64)
+        m = pairs.n_pairs
+        dx = self._buf("pr_dx", (m, 3))
+        xj = self._buf("pr_xj", (m, 3))
+        np.take(pos, pairs.i, axis=0, out=dx)
+        np.take(pos, pairs.j, axis=0, out=xj)
+        dx -= xj
+        shift = np.divide(dx, self.box, out=xj)
+        np.rint(shift, out=shift)
+        shift *= self.box
+        dx -= shift
+        r2 = np.einsum("ij,ij->i", dx, dx, out=self._buf("pr_r2", (m,)))
+        mask = np.less_equal(r2, keep_r * keep_r, out=self._buf("pr_mask", (m,), dtype=bool))
         kept = int(np.count_nonzero(mask))
         METRICS.counter("pairlist.prunes").inc()
         METRICS.counter("pairlist.pairs_dropped").inc(pairs.n_pairs - kept)
@@ -136,3 +180,162 @@ class VerletListBuilder:
             sorted_by_i=True,
         )
         return pruned
+
+
+# -- cluster-pair lists (M×N scheme) -------------------------------------------
+
+
+@dataclass
+class ClusterPairList:
+    """A cluster-pair list with its flat pair view.
+
+    The cluster-native representation is ``(tile_i, tile_j, tile_masks)``
+    over ``layout``: candidate cluster pairs with exact per-slot
+    interaction masks (periodic images resolved per atom pair).  The flat
+    ``i``/``j`` arrays are the masked entries extracted once at build
+    time, canonically ``(i, j)``-lexsorted — so a :class:`ClusterPairList`
+    quacks like a :class:`PairList` (``sorted_by_i`` always holds) and
+    drops into every consumer of the flat list, while the tile arrays
+    stay available for dense M×N evaluation (the compiled kernel path).
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    r_list: float
+    ref_positions: np.ndarray = field(repr=False)
+    layout: ClusterLayout = field(repr=False, default=None)
+    tile_i: np.ndarray = field(repr=False, default=None)
+    tile_j: np.ndarray = field(repr=False, default=None)
+    tile_masks: np.ndarray = field(repr=False, default=None)
+    steps_since_build: int = 0
+    sorted_by_i: bool = True
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.i.size)
+
+    @property
+    def n_tiles(self) -> int:
+        return 0 if self.tile_i is None else int(self.tile_i.size)
+
+
+@dataclass
+class ClusterListBuilder:
+    """Buffered Verlet lifecycle over cluster-pair lists.
+
+    Same build/needs_rebuild/prune contract as :class:`VerletListBuilder`
+    — buffered radius ``cutoff + buffer``, displacement-triggered rebuild
+    at ``buffer/2``, safe rolling prune at ``cutoff + 2*buffer`` — but
+    the search runs over :class:`~repro.md.cells.ClusterLayout` cluster
+    pairs and pruning drops whole tiles (GROMACS prunes at cluster-pair
+    granularity too; keeping an extra out-of-range entry never changes
+    forces, the kernel masks it).
+    """
+
+    box: np.ndarray
+    cutoff: float
+    buffer: float = 0.1
+    nstlist: int = 20
+    m: int = 4  # atoms per cluster (4 or 8)
+
+    def __post_init__(self) -> None:
+        self.box = np.asarray(self.box, dtype=np.float64)
+        if self.buffer < 0:
+            raise ValueError("buffer must be non-negative")
+        if self.nstlist < 1:
+            raise ValueError("nstlist must be >= 1")
+        if self.m not in (4, 8):
+            raise ValueError(f"cluster size m must be 4 or 8, got {self.m}")
+        self.r_list = self.cutoff + self.buffer
+        self._scratch: dict[str, np.ndarray] = {}
+
+    # Share the scratch/displacement machinery with the flat builder.
+    _buf = VerletListBuilder._buf
+    _max_displacement = VerletListBuilder._max_displacement
+
+    def build(self, positions: np.ndarray) -> ClusterPairList:
+        """Full cluster-pair search at the buffered radius."""
+        pos = np.asarray(positions, dtype=np.float64)
+        periodic = np.ones(3, dtype=bool)
+        layout = build_clusters(pos, np.zeros(3), self.box, self.m)
+        ci, cj = cluster_pair_candidates(
+            layout, layout, self.r_list, self.box, periodic, same=True
+        )
+        masks = cluster_tile_masks(
+            pos, layout, layout, ci, cj, self.r_list, self.box, periodic,
+            same=True,
+        )
+        i, j = _extract_flat_pairs(layout, layout, ci, cj, masks)
+        METRICS.counter("pairlist.builds").inc()
+        METRICS.histogram("pairlist.pairs_built").observe(int(i.size))
+        METRICS.histogram("pairlist.tiles_built").observe(int(ci.size))
+        return ClusterPairList(
+            i=i, j=j, r_list=self.r_list,
+            ref_positions=np.array(positions, copy=True),
+            layout=layout, tile_i=ci, tile_j=cj, tile_masks=masks,
+        )
+
+    def needs_rebuild(self, pairs: ClusterPairList, positions: np.ndarray) -> bool:
+        """Same validity rule as the flat builder (see its docstring)."""
+        if pairs.steps_since_build >= self.nstlist:
+            return True
+        return self._max_displacement(pairs, positions) > 0.5 * self.buffer
+
+    def prune(self, pairs: ClusterPairList, positions: np.ndarray) -> ClusterPairList:
+        """Drop tiles with no masked entry inside ``cutoff + 2*buffer``.
+
+        Tile-granularity pruning: a tile survives iff at least one of its
+        masked slot pairs is currently within the safe keep radius.  The
+        flat view is re-extracted from the surviving tiles, so it may
+        retain individual entries beyond the keep radius (harmless — the
+        kernel masks anything outside the interaction cutoff).
+        """
+        keep_r = self.cutoff + 2.0 * self.buffer
+        pos = np.asarray(positions, dtype=np.float64)
+        layout = pairs.layout
+        n_tiles = pairs.n_tiles
+        keep = np.zeros(n_tiles, dtype=bool)
+        padded = np.vstack([pos, np.zeros((1, 3))])
+        keep_r2 = keep_r * keep_r
+        mm = layout.m
+        chunk = max(1, int(4e6 // (mm * mm)))
+        for s in range(0, n_tiles, chunk):
+            e = min(n_tiles, s + chunk)
+            xi = padded[layout.atoms[pairs.tile_i[s:e]]]
+            xj = padded[layout.atoms[pairs.tile_j[s:e]]]
+            dx = xi[:, :, None, :] - xj[:, None, :, :]
+            for d in range(3):
+                dx[..., d] -= np.rint(dx[..., d] / self.box[d]) * self.box[d]
+            r2 = np.einsum("tmnk,tmnk->tmn", dx, dx)
+            keep[s:e] = np.any(pairs.tile_masks[s:e] & (r2 <= keep_r2), axis=(1, 2))
+        ci = pairs.tile_i[keep]
+        cj = pairs.tile_j[keep]
+        masks = pairs.tile_masks[keep]
+        i, j = _extract_flat_pairs(layout, layout, ci, cj, masks)
+        METRICS.counter("pairlist.prunes").inc()
+        METRICS.counter("pairlist.pairs_dropped").inc(pairs.n_pairs - int(i.size))
+        if pairs.n_pairs:
+            METRICS.histogram("pairlist.keep_frac").observe(i.size / pairs.n_pairs)
+        return ClusterPairList(
+            i=i, j=j, r_list=pairs.r_list,
+            ref_positions=pairs.ref_positions,
+            layout=layout, tile_i=ci, tile_j=cj, tile_masks=masks,
+            steps_since_build=pairs.steps_since_build,
+        )
+
+
+def _extract_flat_pairs(
+    a: ClusterLayout,
+    b: ClusterLayout,
+    ci: np.ndarray,
+    cj: np.ndarray,
+    masks: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Masked tile entries as canonical ``(i < j, lexsorted)`` flat pairs."""
+    ti, tm, tn = np.nonzero(masks)
+    pi = a.atoms[ci[ti], tm]
+    pj = b.atoms[cj[ti], tn]
+    lo = np.minimum(pi, pj)
+    hi = np.maximum(pi, pj)
+    order = np.lexsort((hi, lo))
+    return lo[order], hi[order]

@@ -15,7 +15,7 @@ import numpy as np
 from repro.md.forcefield import ForceField
 from repro.md.integrator import LeapFrogIntegrator
 from repro.md.nonbonded import NonbondedKernel, PairBlock
-from repro.md.pairlist import PairList, VerletListBuilder
+from repro.md.pairlist import ClusterListBuilder, PairList, VerletListBuilder
 from repro.md.system import MDSystem
 from repro.obs.metrics import METRICS
 
@@ -63,13 +63,26 @@ class ReferenceSimulator:
     coulomb: str = "rf"
     pme_grid: tuple[int, int, int] | None = None
     topology: "object | None" = None
+    #: Non-bonded kernel registry name ("segment", "cluster",
+    #: "cluster-numba") and compute precision ("float64"/"float32").
+    #: Cluster kernels switch the pair-list builder to the M×N
+    #: :class:`~repro.md.pairlist.ClusterListBuilder`; the flat view of a
+    #: cluster list feeds the same per-step cache.
+    kernel: str = "segment"
+    kernel_dtype: str = "float64"
     step_count: int = 0
     energies: list[StepEnergies] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._builder = VerletListBuilder(
-            box=self.system.box, cutoff=self.ff.cutoff, buffer=self.buffer, nstlist=self.nstlist
-        )
+        if self.kernel.startswith("cluster"):
+            self._builder = ClusterListBuilder(
+                box=self.system.box, cutoff=self.ff.cutoff,
+                buffer=self.buffer, nstlist=self.nstlist,
+            )
+        else:
+            self._builder = VerletListBuilder(
+                box=self.system.box, cutoff=self.ff.cutoff, buffer=self.buffer, nstlist=self.nstlist
+            )
         self._pme = None
         if self.coulomb == "pme":
             from repro.pme.spme import SpmeSolver, optimal_beta
@@ -77,11 +90,17 @@ class ReferenceSimulator:
             beta = optimal_beta(self.ff.cutoff)
             grid = self.pme_grid or _default_pme_grid(self.system.box)
             self._pme = SpmeSolver(box=self.system.box, grid=grid, beta=beta)
-            self._kernel = NonbondedKernel(self.ff, coulomb="ewald", ewald_beta=beta)
+            self._kernel = NonbondedKernel(
+                self.ff, coulomb="ewald", ewald_beta=beta,
+                name=self.kernel, dtype=self.kernel_dtype,
+            )
         elif self.coulomb == "rf":
-            self._kernel = NonbondedKernel(self.ff)
+            self._kernel = NonbondedKernel(
+                self.ff, name=self.kernel, dtype=self.kernel_dtype
+            )
         else:
             raise ValueError(f"unknown coulomb mode '{self.coulomb}' (use 'rf' or 'pme')")
+        self._kernel.impl  # fail fast on unknown names / missing numba
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._pairs: PairList | None = None
         self._cached_for: PairList | None = None

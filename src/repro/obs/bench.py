@@ -66,6 +66,13 @@ class BenchRecord:
     steps: int
     ms_per_step: float
     steps_per_s: float
+    #: Non-bonded kernel registry name; part of the baseline identity so
+    #: per-kernel numbers regress independently.  Old records (pre-kernel
+    #: schema) load as "segment", which is what they measured.
+    kernel: str = "segment"
+    #: Kernel compute precision ("float64"/"float32"); also part of the
+    #: baseline identity — the float32 fast path regresses on its own.
+    kernel_dtype: str = "float64"
     #: Host constants the number was measured on (cpu_count, platform, python).
     machine: dict = field(default_factory=dict)
     #: ``forces_local``/``forces_nonlocal``/halo/overlap split (optional).
@@ -79,11 +86,15 @@ class BenchRecord:
     def key(self) -> tuple:
         """The identity the rolling baseline groups by."""
         return (self.system, self.ranks, self.backend, self.executor,
-                self.overlap_comm)
+                self.overlap_comm, self.kernel, self.kernel_dtype)
 
     def key_label(self) -> str:
         ov = "overlap" if self.overlap_comm else "no-overlap"
-        return f"{self.system}/{self.ranks}r/{self.backend}/{self.executor}/{ov}"
+        label = (f"{self.system}/{self.ranks}r/{self.backend}/{self.executor}"
+                 f"/{ov}/{self.kernel}")
+        if self.kernel_dtype != "float64":
+            label += f"/{self.kernel_dtype}"
+        return label
 
     def to_dict(self) -> dict:
         return asdict(self)

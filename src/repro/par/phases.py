@@ -45,7 +45,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.md.bonded import angle_forces, bond_forces, exclusion_correction
-from repro.md.cells import CellList
 from repro.md.integrator import LeapFrogIntegrator, kinetic_energy
 from repro.md.nonbonded import NonbondedKernel, PairBlock
 
@@ -150,69 +149,15 @@ def pair_search(ws: RankWorkspace) -> dict:
     gathers, and the segment sort all happen here, once per neighbour
     search, not per step.  Only the lightweight ``stats`` dict crosses an
     executor boundary.
+
+    The search itself is delegated to the configured kernel implementation
+    (:mod:`repro.md.kernels`): ``"segment"`` searches over atoms with the
+    flat cell list, the cluster kernels over M×N cluster tiles.  Every
+    implementation returns the same :class:`SplitPairs` parts with the
+    same local/non-local/per-pulse semantics, so executors and the engine
+    never see which kernel produced the list.
     """
-    cfg = ws.cfg
-    pos = ws.pos.astype(np.float64)
-    r_list = cfg.r_comm
-    periodic = cfg.periodic
-    lo = np.where(periodic, 0.0, pos.min(axis=0) - 1e-9)
-    hi = np.where(periodic, cfg.box, pos.max(axis=0) + 1e-9)
-    hi = np.maximum(hi, lo + r_list)
-    cells = CellList(lo=lo, hi=hi, cutoff=r_list, periodic=periodic)
-    i, j = cells.pairs_within(pos, r_list)
-    zs = ws.ns.zone_shift
-    keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
-    i, j = i[keep], j[keep]
-
-    # Exclusion (intramolecular) filtering is static per NS interval, so
-    # it happens here rather than per step.
-    if ws.ns.bonded is not None:
-        mol = ws.ns.bonded["mol"]
-        excl = mol[i] == mol[j]
-        ei, ej = i[excl], j[excl]
-        i, j = i[~excl], j[~excl]
-    else:
-        ei, ej = i[:0], j[:0]
-
-    nh = ws.ns.n_home
-    n_atoms = ws.pos.shape[0]
-    kernel = cfg.kernel
-
-    # Local split: pairs_within emits (i, j)-lexsorted pairs and boolean
-    # masking preserves order, so both halves stay sorted by i.
-    local_mask = (i < nh) & (j < nh)
-    li, lj = i[local_mask], j[local_mask]
-    ni, nj = i[~local_mask], j[~local_mask]
-
-    # Per-pulse partition: a non-local pair is computable once the latest
-    # pulse that delivered either atom has arrived (src_pulse is -1 for
-    # home atoms, so max() picks the halo dependency).
-    sp = ws.ns.src_pulse
-    n_pulses = ws.ns.n_pulses
-    if sp is not None and ni.size:
-        req = np.maximum(sp[ni], sp[nj]).astype(np.int64)
-    else:
-        req = np.zeros(ni.size, dtype=np.int64)
-    order = np.argsort(req, kind="stable")  # stable keeps i sorted per pulse
-    ni, nj, req = ni[order], nj[order], req[order]
-    pulse_offsets = np.searchsorted(req, np.arange(max(n_pulses, 1) + 1))
-
-    el_mask = (ei < nh) & (ej < nh)
-    ws.pairs = SplitPairs(
-        local=kernel.make_block(li, lj, ws.types, ws.charges, n_atoms=n_atoms),
-        nonlocal_kernel=kernel.make_block(
-            ni, nj, ws.types, ws.charges, n_atoms=n_atoms, group_key=req
-        ),
-        pulse_offsets=pulse_offsets,
-        excl_local=(ei[el_mask], ej[el_mask]),
-        excl_nonlocal=(ei[~el_mask], ej[~el_mask]),
-        stats={
-            "n_local": int(li.size),
-            "n_nonlocal": int(ni.size),
-            "n_excluded": int(ei.size),
-            "pulse_pairs": np.diff(pulse_offsets).tolist(),
-        },
-    )
+    ws.pairs = SplitPairs(**ws.cfg.kernel.impl.build_split(ws))
     return ws.pairs.stats
 
 

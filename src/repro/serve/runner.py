@@ -127,7 +127,11 @@ def _run_verify(spec: SimulationSpec, cache, cancel) -> dict:
 
     sim = _build_sim(spec, cache)
     serial = sim.system.copy()
-    ref = ReferenceSimulator(serial, sim.ff, nstlist=spec.nstlist, buffer=spec.buffer)
+    ref = ReferenceSimulator(
+        serial, sim.ff, nstlist=spec.nstlist, buffer=spec.buffer,
+        kernel=getattr(spec, "kernel", "segment"),
+        kernel_dtype=getattr(spec, "kernel_dtype", "float64"),
+    )
     _check_cancel(cancel)
     ref.run(spec.steps)
     with sim:

@@ -67,6 +67,10 @@ class SimulationSpec:
     coulomb: str = "rf"
     trim_corners: bool = False
     overlap_comm: bool = True
+    #: Non-bonded kernel registry name ("segment", "cluster",
+    #: "cluster-numba") and compute precision ("float64"/"float32").
+    kernel: str = "segment"
+    kernel_dtype: str = "float64"
     # -- determinism ----------------------------------------------------------
     seed: int = 7
     # -- chaos ----------------------------------------------------------------
@@ -93,6 +97,18 @@ class SimulationSpec:
         if self.shape is not None:
             object.__setattr__(self, "shape", tuple(int(x) for x in self.shape))
         resolve_atoms(self.system)  # fail fast with the actionable system error
+        from repro.md.kernels import KERNEL_DTYPES, kernel_registry
+
+        if self.kernel not in kernel_registry:
+            raise ValueError(
+                f"unknown kernel '{self.kernel}'; registered kernels: "
+                f"{sorted(kernel_registry)}"
+            )
+        if self.kernel_dtype not in KERNEL_DTYPES:
+            raise ValueError(
+                f"unknown kernel_dtype '{self.kernel_dtype}'; "
+                f"use one of {KERNEL_DTYPES}"
+            )
 
     # -- derived --------------------------------------------------------------
 

@@ -5,7 +5,8 @@ import pytest
 
 from repro.md import default_forcefield, make_grappa_system
 from repro.md.nonbonded import pair_forces
-from repro.md.pairlist import PairList, VerletListBuilder
+from repro.md.pairlist import ClusterListBuilder, PairList, VerletListBuilder
+from repro.obs.metrics import METRICS
 
 
 @pytest.fixture(scope="module")
@@ -143,3 +144,99 @@ class TestSortedInvariant:
         assert set(zip(pruned.i.tolist(), pruned.j.tolist())) == set(
             zip(direct.i.tolist(), direct.j.tolist())
         )
+
+
+class TestScratchReuse:
+    """needs_rebuild/prune run allocation-free at steady state."""
+
+    def test_displacement_buffers_are_reused(self, setup):
+        _, sys_, builder = setup
+        pairs = builder.build(sys_.positions)
+        builder.needs_rebuild(pairs, sys_.positions)
+        first = {k: id(v) for k, v in builder._scratch.items()}
+        builder.needs_rebuild(pairs, sys_.positions)
+        builder.prune(pairs, sys_.positions)
+        builder.prune(pairs, sys_.positions)
+        for name, ident in first.items():
+            assert id(builder._scratch[name]) == ident, name
+
+    def test_max_disp_gauge_published(self, setup):
+        _, sys_, builder = setup
+        pairs = builder.build(sys_.positions)
+        moved = sys_.positions + 0.03
+        builder.needs_rebuild(pairs, moved)
+        gauge = METRICS.gauge("pairlist.max_disp")
+        assert gauge.value == pytest.approx(0.03 * np.sqrt(3.0), rel=1e-9)
+        builder.needs_rebuild(pairs, sys_.positions)
+        assert gauge.value == 0.0
+
+
+class TestClusterLifecycle:
+    """ClusterListBuilder honours the same buffered-Verlet contract."""
+
+    @pytest.fixture(scope="class")
+    def csetup(self):
+        ff = default_forcefield(cutoff=0.65)
+        sys_ = make_grappa_system(1400, seed=3, ff=ff, dtype=np.float64)
+        sys_.wrap()
+        builder = ClusterListBuilder(
+            box=sys_.box, cutoff=ff.cutoff, buffer=0.15, nstlist=10
+        )
+        return ff, sys_, builder
+
+    def test_contains_all_cutoff_pairs(self, csetup):
+        ff, sys_, builder = csetup
+        flat = VerletListBuilder(
+            box=sys_.box, cutoff=ff.cutoff, buffer=0.15, nstlist=10
+        ).build(sys_.positions)
+        pairs = builder.build(sys_.positions)
+        got = set(zip(pairs.i.tolist(), pairs.j.tolist()))
+        want = set(zip(flat.i.tolist(), flat.j.tolist()))
+        # Identical pair *sets*: cluster tiles mask exactly at r_list too.
+        assert got == want
+        assert pairs.n_tiles > 0
+        assert pairs.sorted_by_i and np.all(np.diff(pairs.i) >= 0)
+
+    def test_rebuild_triggers(self, csetup):
+        _, sys_, builder = csetup
+        pairs = builder.build(sys_.positions)
+        assert not builder.needs_rebuild(pairs, sys_.positions)
+        pairs.steps_since_build = builder.nstlist
+        assert builder.needs_rebuild(pairs, sys_.positions)
+        pairs.steps_since_build = 0
+        drifted = sys_.positions + 0.51 * builder.buffer / np.sqrt(3.0)
+        assert builder.needs_rebuild(pairs, drifted)
+
+    def test_prune_never_changes_forces(self, csetup):
+        ff, sys_, builder = csetup
+        pairs = builder.build(sys_.positions)
+        pruned = builder.prune(pairs, sys_.positions)
+        assert pruned.n_tiles <= pairs.n_tiles
+        f1, e1, c1 = pair_forces(
+            sys_.positions, pairs.i, pairs.j, sys_.type_ids, sys_.charges,
+            ff, box=sys_.box,
+        )
+        f2, e2, c2 = pair_forces(
+            sys_.positions, pruned.i, pruned.j, sys_.type_ids, sys_.charges,
+            ff, box=sys_.box,
+        )
+        np.testing.assert_allclose(f1, f2, atol=1e-10)
+        assert e1 == pytest.approx(e2)
+        assert c1 == pytest.approx(c2)
+
+    def test_prune_keeps_tile_structure_consistent(self, csetup):
+        _, sys_, builder = csetup
+        pairs = builder.build(sys_.positions)
+        pruned = builder.prune(pairs, sys_.positions)
+        # The flat view must be exactly the masked tile entries.
+        lay = pruned.layout
+        ti, tm, tn = np.nonzero(pruned.tile_masks)
+        pi = lay.atoms[pruned.tile_i[ti], tm]
+        pj = lay.atoms[pruned.tile_j[ti], tn]
+        got = set(zip(np.minimum(pi, pj).tolist(), np.maximum(pi, pj).tolist()))
+        assert got == set(zip(pruned.i.tolist(), pruned.j.tolist()))
+
+    def test_validation(self, csetup):
+        _, sys_, _ = csetup
+        with pytest.raises(ValueError, match="cluster size m"):
+            ClusterListBuilder(box=sys_.box, cutoff=0.65, m=5)
