@@ -74,6 +74,21 @@ def resolve_atoms(system: str) -> int:
         raise SystemExit(str(err)) from None
 
 
+def parse_build_bytes(text: str) -> int:
+    """``--max-build-bytes`` values: plain bytes or '512k'/'64M'/'1G'."""
+    s = text.strip()
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    try:
+        if s and s[-1].lower() in units:
+            return int(float(s[:-1]) * units[s[-1].lower()])
+        return int(s)
+    except ValueError:
+        raise SystemExit(
+            f"invalid --max-build-bytes '{text}': use bytes or a "
+            f"'k'/'M'/'G'-suffixed size (e.g. 64M)"
+        ) from None
+
+
 def detect_git_sha() -> str:
     """Short sha of HEAD, or ``unknown`` outside a git checkout."""
     try:
@@ -106,11 +121,28 @@ def _phase_breakdown(executor: str, steps: int) -> dict:
     }
 
 
+def build_memory_snapshot() -> dict:
+    """The ``md.*`` build-memory gauges as a BenchRecord ``memory`` dict.
+
+    Read *after* the warm-up step (the first neighbour search populates
+    the gauges) and *before* ``METRICS.reset()`` wipes them.
+    """
+    return {
+        "pairlist_bytes": int(METRICS.gauge("md.pairlist.bytes").value),
+        "cells_bytes": int(METRICS.gauge("md.cells.bytes").value),
+        "build_peak_bytes": int(METRICS.gauge("md.build.peak_bytes").value),
+        "build_peak_bytes_per_atom": float(
+            METRICS.gauge("md.build.peak_bytes_per_atom").value
+        ),
+    }
+
+
 def bench_executor(
     executor: str, n_atoms: int, ranks: int, steps: int, *,
     backend: str, seed: int, nstlist: int,
     phase_breakdown: bool = False, overlap: bool = True,
     kernel: str = "segment", kernel_dtype: str = "float64",
+    max_build_bytes: int | None = None,
 ) -> dict:
     """Steady-state ms/step for one executor (first step excluded)."""
     try:
@@ -123,8 +155,10 @@ def bench_executor(
         system, ff, n_ranks=ranks, backend=backend_obj, executor=executor_obj,
         nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
         kernel=kernel, kernel_dtype=kernel_dtype,
+        max_build_bytes=max_build_bytes,
     ) as sim:
         sim.step()  # warm-up: first neighbour search + pool spin-up
+        memory = build_memory_snapshot()
         METRICS.reset()  # count only the timed steps (rank_us, overlap, ...)
         t0 = time.perf_counter()
         sim.run(steps)
@@ -138,6 +172,7 @@ def bench_executor(
         "measured_steps": steps,
         "checksum": checksum,
         "imbalance": record_imbalance(executor=executor),
+        "memory": memory,
     }
     if phase_breakdown:
         r["phase_breakdown"] = _phase_breakdown(executor, steps)
@@ -178,6 +213,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--kernel-dtype", default="float64",
                         choices=["float64", "float32"],
                         help="kernel compute precision (float32 = fast path)")
+    parser.add_argument("--max-build-bytes", type=parse_build_bytes,
+                        default=None, metavar="BYTES",
+                        help="pair-list build working-set cap per rank "
+                             "(e.g. 64M; bit-identical, bounds build memory; "
+                             "recorded as part of the baseline key)")
     parser.add_argument("--backend", default="reference",
                         choices=("reference", "mpi", "threadmpi", "nvshmem"))
     parser.add_argument("--executors", nargs="+",
@@ -228,9 +268,13 @@ def main(argv: list[str] | None = None) -> None:
             backend=args.backend, seed=args.seed, nstlist=args.nstlist,
             phase_breakdown=args.phase_breakdown, overlap=not args.no_overlap,
             kernel=args.kernel, kernel_dtype=args.kernel_dtype,
+            max_build_bytes=args.max_build_bytes,
         )
         results.append(r)
-        print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step")
+        mem = r["memory"]
+        print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step | build peak "
+              f"{mem['build_peak_bytes'] / (1 << 20):.1f} MiB "
+              f"({mem['build_peak_bytes_per_atom']:.0f} B/atom)")
         if args.phase_breakdown:
             pb = r["phase_breakdown"]
             print(
@@ -270,6 +314,7 @@ def main(argv: list[str] | None = None) -> None:
         "overlap_comm": not args.no_overlap,
         "kernel": args.kernel,
         "kernel_dtype": args.kernel_dtype,
+        "max_build_bytes": args.max_build_bytes,
         **machine_ctx,
         "results": results,
     }
@@ -316,10 +361,12 @@ def main(argv: list[str] | None = None) -> None:
                 steps_per_s=r["steps_per_s"],
                 kernel=args.kernel,
                 kernel_dtype=args.kernel_dtype,
+                max_build_bytes=args.max_build_bytes,
                 machine=machine_ctx,
                 phase_breakdown=r.get("phase_breakdown"),
                 imbalance=r.get("imbalance"),
                 energy=energy,
+                memory=r.get("memory"),
             )
         )
     # Gate against the pre-append store so no record compares to itself,

@@ -59,6 +59,7 @@ class ChaosConfig:
     executor: str = "serial"
     n_faults: int = 4
     kernel: str = "segment"  # non-bonded kernel registry name
+    max_build_bytes: int | None = None  # pair-list build working-set cap
 
     @property
     def n_ranks(self) -> int:
@@ -98,6 +99,7 @@ class ChaosConfig:
             nstlist=self.nstlist,
             buffer=self.buffer,
             kernel=self.kernel,
+            max_build_bytes=self.max_build_bytes,
             seed=self.system_seed,
             n_faults=self.n_faults,
             fault_plan=fault_plan,

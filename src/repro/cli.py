@@ -66,6 +66,7 @@ def _resolve_atoms(system: str) -> int:
 def _functional_ms_per_step(
     n_atoms: int, ranks: int, backend: str, executor: str, steps: int,
     seed: int = 7, server: str | None = None, kernel: str = "segment",
+    max_build_bytes: int | None = None,
 ) -> float:
     """Wall-clock ms/step of a real DD run with the chosen executor.
 
@@ -80,6 +81,7 @@ def _functional_ms_per_step(
         system=str(n_atoms), steps=steps, ranks=ranks,
         backend=backend, executor=executor, seed=seed,
         nstlist=10, buffer=0.12, kernel=kernel,
+        max_build_bytes=max_build_bytes,
     )
     return submit_and_wait(spec, server=server)["ms_per_step"]
 
@@ -112,6 +114,7 @@ def cmd_compare(args) -> None:
                 _functional_ms_per_step(
                     n_atoms, args.gpus, backend, args.executor, args.measure,
                     server=args.server, kernel=args.kernel,
+                    max_build_bytes=args.max_build_bytes,
                 )
             )
         tbl.add_row(*row)
@@ -155,6 +158,7 @@ def cmd_scaling(args) -> None:
                 _functional_ms_per_step(
                     n_atoms, gpus, "nvshmem", args.executor, args.measure,
                     server=args.server, kernel=args.kernel,
+                    max_build_bytes=args.max_build_bytes,
                 )
             )
         tbl.add_row(*row)
@@ -209,6 +213,7 @@ def _cmd_profile_functional(args) -> None:
         kind="profile", system=str(n_atoms), steps=args.steps,
         ranks=args.ranks, backend=args.backend, executor=args.executor,
         nstlist=10, buffer=0.12, kernel=args.kernel,
+        max_build_bytes=args.max_build_bytes,
         overlap_comm=not getattr(args, "no_overlap", False),
     )
     want_raw_trace = bool(args.trace) and args.server is None
@@ -352,6 +357,7 @@ def cmd_report(args) -> None:
         history_path=args.history,
         threshold=args.threshold,
         window=args.baseline_window,
+        trends_dir=args.trends_dir,
     )
     md = render_markdown(data)
     log.info("%s", md)
@@ -362,6 +368,15 @@ def cmd_report(args) -> None:
     )
     for p in written:
         log.info("wrote %s", p)
+    if not args.check:
+        # Regenerate the committed trend SVGs from the current history.
+        # --check is read-only by design: it grades what is committed
+        # (build_report already captured the pre-regeneration status).
+        from repro.obs.bench import BenchHistory
+        from repro.obs.trend import write_trends
+
+        for p in write_trends(BenchHistory.load(args.history), args.trends_dir):
+            log.info("wrote %s", p)
     if args.check:
         problems = report_problems(data)
         if problems:
@@ -387,6 +402,7 @@ def cmd_verify(args) -> None:
         pes_per_node=max(1, args.ranks // 2),
         nstlist=5, buffer=0.12, max_pulses=2,
         overlap_comm=not args.no_overlap, kernel=args.kernel,
+        max_build_bytes=args.max_build_bytes,
     )
     want_raw_trace = bool(args.trace) and args.server is None
     if want_raw_trace:
@@ -468,6 +484,7 @@ def cmd_chaos(args) -> None:
             executor=args.executor,
             n_faults=args.faults,
             kernel=args.kernel,
+            max_build_bytes=args.max_build_bytes,
         )
         res = run_campaign(
             cfg, runs=args.runs, seed0=args.seed, mutation=args.mutate, log=log
@@ -522,6 +539,7 @@ def _cmd_chaos_remote(args, backends: tuple, shape: tuple) -> None:
             max_pulses=args.max_pulses, steps=args.steps,
             pes_per_node=args.pes_per_node, executor=args.executor,
             n_faults=args.faults, kernel=args.kernel,
+            max_build_bytes=args.max_build_bytes,
         )
         for i in range(args.runs):
             plan = FaultPlan.generate(
@@ -652,6 +670,28 @@ def main(argv: list[str] | None = None) -> None:
             raise argparse.ArgumentTypeError("must be >= 0")
         return n
 
+    def build_bytes(value: str) -> int | None:
+        """``--max-build-bytes`` values: bytes or '512k'/'64M'/'1G'; 0 = off."""
+        s = value.strip()
+        units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+        try:
+            if s and s[-1].lower() in units:
+                n = int(float(s[:-1]) * units[s[-1].lower()])
+            else:
+                n = int(s)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"invalid size '{value}': use bytes or a 'k'/'M'/'G'-suffixed "
+                f"size (e.g. 64M)"
+            ) from None
+        return n or None
+
+    build_bytes_flag = dict(
+        type=build_bytes, default=None, metavar="BYTES",
+        help="per-rank pair-list build working-set cap for functional runs "
+             "(e.g. 64M; bit-identical to uncapped, bounds build memory)",
+    )
+
     p = sub.add_parser("compare", parents=[common], help="MPI vs NVSHMEM for one configuration")
     p.add_argument("system", nargs="?", default="45k")
     p.add_argument("--gpus", type=int, default=4)
@@ -659,6 +699,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--trace", default=None, help="write both schedules as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
+    p.add_argument("--max-build-bytes", **build_bytes_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per backend and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -671,6 +712,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--trace", default=None, help="write NVSHMEM schedules as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
+    p.add_argument("--max-build-bytes", **build_bytes_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per GPU count and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -713,6 +755,7 @@ def main(argv: list[str] | None = None) -> None:
                    help="profile a real DD run (span accounting) instead of the model")
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
+    p.add_argument("--max-build-bytes", **build_bytes_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="functional runs only: strict schedule (local forces, "
                         "halo exchange, non-local forces) with no overlap")
@@ -738,6 +781,9 @@ def main(argv: list[str] | None = None) -> None:
                    help="also write the rendered markdown here")
     p.add_argument("--json", default=None, metavar="REPORT_JSON",
                    help="also write the raw report data as JSON here")
+    p.add_argument("--trends-dir", default="results/trends",
+                   help="committed trend-SVG directory; regenerated unless "
+                        "--check (default: results/trends)")
     p.add_argument("--threshold", type=float, default=0.10,
                    help="fractional throughput loss that fails the bench gate")
     p.add_argument("--baseline-window", type=int, default=5,
@@ -756,6 +802,7 @@ def main(argv: list[str] | None = None) -> None:
                    help="record engine spans and write them as Chrome-trace JSON")
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
+    p.add_argument("--max-build-bytes", **build_bytes_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="strict schedule (local forces, halo exchange, "
                         "non-local forces) with no comm-compute overlap")
@@ -781,6 +828,7 @@ def main(argv: list[str] | None = None) -> None:
                    help="nvshmem topology: 1 = all-IB, n_ranks = all-NVLink")
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
+    p.add_argument("--max-build-bytes", **build_bytes_flag)
     p.add_argument("--faults", type=int, default=4, help="faults per plan")
     p.add_argument("--mutate", default=None,
                    help="apply a protocol mutation (self-test); see "

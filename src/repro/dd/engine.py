@@ -107,6 +107,14 @@ class RankWorkload:
     #: Non-local pairs grouped by the latest pulse they depend on (the
     #: ``depOffset`` partition) — sums to ``n_pairs_nonlocal``.
     pulse_pair_counts: list[int] = field(default_factory=list)
+    #: Standing pair-list footprint (blocks + tiles) on this rank, bytes.
+    pairlist_bytes: int = 0
+    #: Search-structure footprint (cell grid / cluster layouts), bytes.
+    cells_bytes: int = 0
+    #: Peak build working set on this rank: transient chunks + standing
+    #: structures.  ``build_peak_bytes / (n_home + n_halo)`` is the
+    #: bytes/atom number the CI scale job asserts a cap on.
+    build_peak_bytes: int = 0
 
 
 @dataclass
@@ -147,6 +155,11 @@ class DDSimulator:
     #: Kernel compute precision: "float64" (default, bit-exact reference)
     #: or "float32" (the mixed-precision fast path).
     kernel_dtype: str = "float64"
+    #: Per-rank transient working-set cap for pair-list builds (bytes);
+    #: ``None`` keeps the tuned default chunking.  Capped builds are
+    #: bit-identical to uncapped ones (chunk boundaries never change the
+    #: produced list), so this is purely a memory/perf knob.
+    max_build_bytes: int | None = None
     topology: "object | None" = None
     #: Optional hook replacing :func:`repro.dd.exchange.build_cluster` at
     #: neighbour search: called as ``cluster_factory(sim)`` and must return
@@ -211,6 +224,7 @@ class DDSimulator:
                 box=self.dd.box,
                 periodic=self._periodic,
                 r_comm=self.dd.r_comm,
+                max_build_bytes=self.max_build_bytes,
             ),
             self.n_ranks,
         )
@@ -276,6 +290,7 @@ class DDSimulator:
             overlap_comm=spec.overlap_comm,
             kernel=getattr(spec, "kernel", "segment"),
             kernel_dtype=getattr(spec, "kernel_dtype", "float64"),
+            max_build_bytes=getattr(spec, "max_build_bytes", None),
             cluster_factory=cluster_factory,
         )
 
@@ -359,6 +374,9 @@ class DDSimulator:
                     n_pairs_nonlocal=stats["n_nonlocal"],
                     pulse_send_sizes=[p.send_size for p in plan.pulses],
                     pulse_pair_counts=stats["pulse_pairs"],
+                    pairlist_bytes=stats.get("pairlist_bytes", 0),
+                    cells_bytes=stats.get("cells_bytes", 0),
+                    build_peak_bytes=stats.get("build_peak_bytes", 0),
                 )
             )
         METRICS.counter("dd.ns_builds").inc()
@@ -367,6 +385,28 @@ class DDSimulator:
             sum(w.n_pairs_nonlocal for w in self.workloads)
         )
         METRICS.gauge("dd.halo_atoms").set(sum(w.n_halo for w in self.workloads))
+        # Build-memory gauges: totals across ranks for the standing
+        # structures, per-rank max for the peaks (ranks build
+        # concurrently only on multi-core hosts; the per-rank peak is the
+        # number the bytes/atom budget constrains either way).
+        METRICS.gauge("md.pairlist.bytes").set(
+            sum(w.pairlist_bytes for w in self.workloads)
+        )
+        METRICS.gauge("md.cells.bytes").set(
+            sum(w.cells_bytes for w in self.workloads)
+        )
+        METRICS.gauge("md.build.peak_bytes").set(
+            max((w.build_peak_bytes for w in self.workloads), default=0)
+        )
+        METRICS.gauge("md.build.peak_bytes_per_atom").set(
+            max(
+                (
+                    w.build_peak_bytes / max(w.n_home + w.n_halo, 1)
+                    for w in self.workloads
+                ),
+                default=0.0,
+            )
+        )
         for w in self.workloads:
             for size in w.pulse_send_sizes:
                 METRICS.histogram("dd.pulse_send_atoms").observe(size)

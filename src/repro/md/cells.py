@@ -30,6 +30,62 @@ _HALF_OFFSETS = [
 
 
 @dataclass
+class BuildBudget:
+    """Working-set cap and memory accounting for pair/tile builds.
+
+    ``max_bytes`` bounds the *transient* working set of one build stage:
+    chunked stages (the candidate-search and tile-mask GEMMs) derive
+    their chunk size from it, so a rank never materialises a candidate
+    matrix larger than the cap.  ``None`` keeps each stage's tuned
+    default chunk (sized for cache behaviour, not memory pressure).
+
+    Chunk size never changes results — every chunked loop preserves
+    iteration order and the final canonical sort is chunk-oblivious —
+    so a capped build is bit-identical to an uncapped one; tests assert
+    this across several caps.
+
+    The budget also *measures*: ``peak_bytes`` records the largest
+    transient working set any stage actually used and ``cells_bytes``
+    the footprint of the search structures (cell grid occupancy or
+    cluster layouts), feeding the ``md.cells.bytes`` /
+    ``md.build.peak_bytes`` gauges.
+    """
+
+    max_bytes: int | None = None
+    peak_bytes: int = 0
+    cells_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_bytes is not None:
+            self.max_bytes = int(self.max_bytes)
+            if self.max_bytes < 4096:
+                raise ValueError(
+                    f"max_build_bytes must be >= 4096 (got {self.max_bytes}); "
+                    f"a smaller cap cannot hold one candidate row"
+                )
+
+    def rows(self, bytes_per_row: int, default_rows: int) -> int:
+        """Chunk length for a stage whose working set is ``bytes_per_row``.
+
+        Uncapped budgets return the stage's tuned ``default_rows``;
+        capped ones fit the chunk under ``max_bytes`` (always at least
+        one row — correctness never depends on the cap being achievable).
+        """
+        if self.max_bytes is None:
+            return max(1, int(default_rows))
+        return max(1, int(self.max_bytes // max(int(bytes_per_row), 1)))
+
+    def note(self, nbytes: int) -> None:
+        """Record one stage's transient working set."""
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = int(nbytes)
+
+    def note_cells(self, nbytes: int) -> None:
+        """Record search-structure footprint (cell grid / cluster layouts)."""
+        self.cells_bytes += int(nbytes)
+
+
+@dataclass
 class CellList:
     """A 3D cell grid over ``[lo, hi)`` with per-dimension periodic flags.
 
@@ -128,11 +184,18 @@ class CellList:
         return dx
 
     def pairs_within(
-        self, positions: np.ndarray, cutoff: float | None = None
+        self,
+        positions: np.ndarray,
+        cutoff: float | None = None,
+        budget: "BuildBudget | None" = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """All index pairs (i < j) with minimum-image distance <= cutoff.
 
         Returns two int64 arrays; each unordered pair appears exactly once.
+        The optional ``budget`` records the grid-occupancy footprint and
+        the largest per-cell-pair dense block; the scan is already one
+        cell pair at a time, so its working set is bounded by cell
+        occupancy (density × cell volume), not by the atom count.
         """
         rc = self.cutoff if cutoff is None else float(cutoff)
         if rc > self.cutoff + 1e-12:
@@ -148,6 +211,12 @@ class CellList:
         uniq, starts = np.unique(sorted_ids, return_index=True)
         bounds = np.append(starts, n)
         members = {int(c): order[bounds[k] : bounds[k + 1]] for k, c in enumerate(uniq)}
+        if budget is not None:
+            budget.note_cells(ids.nbytes + order.nbytes + uniq.nbytes + bounds.nbytes)
+            max_occ = int(np.diff(bounds).max())
+            # Largest dense block a cell pair can produce: dx (na*nb*3
+            # f64) + r2 (na*nb f64) + the boolean keep mask.
+            budget.note(max_occ * max_occ * (3 * 8 + 8 + 1))
 
         rc2 = rc * rc
         out_i: list[np.ndarray] = []
@@ -191,6 +260,36 @@ def periodic_cell_list(box: np.ndarray, cutoff: float) -> CellList:
     return CellList(lo=np.zeros(3), hi=box, cutoff=cutoff, periodic=np.ones(3, dtype=bool))
 
 
+class CellGrid(CellList):
+    """A rank-local cell grid covering exactly one rank's home+halo extent.
+
+    The rank-side counterpart of :func:`periodic_cell_list`: along
+    dimensions the domain decomposition does not split the grid spans
+    the periodic box, along decomposed dimensions it spans only the
+    bounding box of the rank's local atoms (home + halo, which carry
+    explicit shifts there).  Every structure it allocates is therefore
+    sized by the *local* atom count — the rank never touches an
+    O(N_global) array on the build path.
+    """
+
+    @classmethod
+    def for_rank(
+        cls,
+        positions: np.ndarray,
+        box: np.ndarray,
+        periodic: np.ndarray,
+        r_list: float,
+    ) -> "CellGrid":
+        """Grid over the home+halo extent of ``positions`` (local rows)."""
+        positions = np.asarray(positions, dtype=np.float64)
+        box = np.asarray(box, dtype=np.float64)
+        periodic = np.asarray(periodic, dtype=bool)
+        lo = np.where(periodic, 0.0, positions.min(axis=0) - 1e-9)
+        hi = np.where(periodic, box, positions.max(axis=0) + 1e-9)
+        hi = np.maximum(hi, lo + r_list)
+        return cls(lo=lo, hi=hi, cutoff=r_list, periodic=periodic)
+
+
 # -- cluster layout (the GROMACS M×N scheme's atom grouping) -------------------
 
 
@@ -222,6 +321,14 @@ class ClusterLayout:
     @property
     def n_clusters(self) -> int:
         return int(self.atoms.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Layout footprint (feeds the ``md.cells.bytes`` accounting)."""
+        return int(
+            self.atoms.nbytes + self.valid.nbytes + self.centers.nbytes
+            + self.radii.nbytes + self.half.nbytes
+        )
 
 
 def build_clusters(
@@ -305,6 +412,7 @@ def cluster_pair_candidates(
     box: np.ndarray,
     periodic: np.ndarray,
     same: bool,
+    budget: BuildBudget | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Cluster pairs whose bounding volumes may hold an ``r_list`` pair.
 
@@ -351,7 +459,13 @@ def cluster_pair_candidates(
     jdx = np.arange(n_b)
     out_i: list[np.ndarray] = []
     out_j: list[np.ndarray] = []
-    chunk = max(1, int(6e6 // max(n_b, 1)))
+    if budget is None:
+        budget = BuildBudget()
+    # Sphere-stage working set per chunk row: the d2 GEMM row (n_b f64),
+    # one per-dim |dc| scratch row, the limit row, and the keep mask.
+    sphere_row_bytes = n_b * (8 + 8 + 8 + 1) + 16
+    chunk = min(n_a, budget.rows(sphere_row_bytes, int(6e6 // max(n_b, 1))))
+    budget.note(chunk * sphere_row_bytes)
     for s in range(0, n_a, chunk):
         e = min(n_a, s + chunk)
         d2 = caf[s:e] @ cbt
@@ -372,17 +486,32 @@ def cluster_pair_candidates(
     ci = np.concatenate(out_i).astype(np.int64)
     cj = np.concatenate(out_j).astype(np.int64)
     if ci.size:
-        sep2 = np.zeros(ci.size)
-        for d in range(3):
-            dd = np.abs(ca[ci, d] - cb[cj, d])
-            if periodic[d]:
-                np.minimum(dd, boxd[d] - dd, out=dd)
-            dd -= a.half[ci, d] + b.half[cj, d]
-            np.maximum(dd, 0.0, out=dd)
-            dd *= dd
-            sep2 += dd
-        keep = sep2 <= slack * slack
-        ci, cj = ci[keep], cj[keep]
+        # AABB refinement, streamed in order over the sphere survivors.
+        # Per-candidate math is elementwise, so chunking cannot change
+        # the surviving set or its order.
+        aabb_row_bytes = 8 + 8 + 1 + 32
+        rchunk = min(int(ci.size), budget.rows(aabb_row_bytes, int(ci.size)))
+        budget.note(rchunk * aabb_row_bytes)
+        keep_i: list[np.ndarray] = []
+        keep_j: list[np.ndarray] = []
+        lim2 = slack * slack
+        for s in range(0, int(ci.size), rchunk):
+            e = min(int(ci.size), s + rchunk)
+            cis, cjs = ci[s:e], cj[s:e]
+            sep2 = np.zeros(cis.size)
+            for d in range(3):
+                dd = np.abs(ca[cis, d] - cb[cjs, d])
+                if periodic[d]:
+                    np.minimum(dd, boxd[d] - dd, out=dd)
+                dd -= a.half[cis, d] + b.half[cjs, d]
+                np.maximum(dd, 0.0, out=dd)
+                dd *= dd
+                sep2 += dd
+            keep = sep2 <= lim2
+            keep_i.append(cis[keep])
+            keep_j.append(cjs[keep])
+        ci = np.concatenate(keep_i)
+        cj = np.concatenate(keep_j)
     return ci, cj
 
 
@@ -396,6 +525,7 @@ def cluster_tile_masks(
     box: np.ndarray,
     periodic: np.ndarray,
     same: bool,
+    budget: BuildBudget | None = None,
 ) -> np.ndarray:
     """Exact per-tile interaction masks, shape ``(T, a.m, b.m)`` bool.
 
@@ -422,7 +552,18 @@ def cluster_tile_masks(
     free = [d for d in range(3) if not periodic[d]]
     tri = np.triu(np.ones((m_a, m_b), dtype=bool), k=1) if same else None
     r_list2 = r_list * r_list
-    chunk = max(1, int(4e6 // (m_a * m_b)))
+    if budget is None:
+        budget = BuildBudget()
+    # Per-tile working set: the two gathered position tiles, the r2 GEMM
+    # tile, one per-dim displacement tile, norm rows, and the mask slab.
+    tile_bytes = (
+        8 * 3 * (m_a + m_b)        # xi / xj gathers
+        + 8 * m_a * m_b * 2        # r2 + per-dim dz
+        + 8 * (m_a + m_b)          # norm-expansion rows
+        + 2 * m_a * m_b            # boolean mask + msk scratch
+    )
+    chunk = max(1, min(n_tiles, budget.rows(tile_bytes, int(4e6 // (m_a * m_b)))))
+    budget.note(chunk * tile_bytes)
     for s in range(0, n_tiles, chunk):
         e = min(n_tiles, s + chunk)
         xi = padded[a.atoms[ci[s:e]]]

@@ -58,10 +58,19 @@ def resolve_atoms(system: str | int) -> int:
     if label in GRAPPA_SIZES:
         return GRAPPA_SIZES[label]
     try:
-        n = int(label)
+        # Generic suffixed labels ("192k", "768k", "2.5M") scale the same
+        # synthetic recipe to sizes between the canonical grappa points —
+        # the scaling sweep uses these for intermediate atom counts.
+        if label and label[-1] in ("k", "K"):
+            n = int(float(label[:-1]) * 1_000)
+        elif label and label[-1] == "M":
+            n = int(float(label[:-1]) * 1_000_000)
+        else:
+            n = int(label)
     except ValueError:
         raise ValueError(
-            f"unknown system '{system}': use an atom count or one of "
+            f"unknown system '{system}': use an atom count, a 'k'/'M'-"
+            f"suffixed count (e.g. '192k'), or one of "
             f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
         ) from None
     if n <= 0:

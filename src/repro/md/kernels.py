@@ -40,7 +40,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.md.cells import (
-    CellList,
+    BuildBudget,
+    CellGrid,
     build_clusters,
     cluster_pair_candidates,
     cluster_tile_masks,
@@ -136,11 +137,9 @@ class SegmentKernel(KernelImpl):
         pos = ws.pos.astype(np.float64)
         r_list = cfg.r_comm
         periodic = cfg.periodic
-        lo = np.where(periodic, 0.0, pos.min(axis=0) - 1e-9)
-        hi = np.where(periodic, cfg.box, pos.max(axis=0) + 1e-9)
-        hi = np.maximum(hi, lo + r_list)
-        cells = CellList(lo=lo, hi=hi, cutoff=r_list, periodic=periodic)
-        i, j = cells.pairs_within(pos, r_list)
+        budget = BuildBudget(max_bytes=getattr(cfg, "max_build_bytes", None))
+        cells = CellGrid.for_rank(pos, cfg.box, periodic, r_list)
+        i, j = cells.pairs_within(pos, r_list, budget=budget)
         zs = ws.ns.zone_shift
         keep = np.all(np.minimum(zs[i], zs[j]) == 0, axis=1)
         i, j = i[keep], j[keep]
@@ -169,11 +168,13 @@ class SegmentKernel(KernelImpl):
         ni, nj, req = ni[order], nj[order], req[order]
 
         el_mask = (ei < nh) & (ej < nh)
+        local = kernel.make_block(li, lj, ws.types, ws.charges, n_atoms=n_atoms)
+        nl = kernel.make_block(
+            ni, nj, ws.types, ws.charges, n_atoms=n_atoms, group_key=req
+        )
         return dict(
-            local=kernel.make_block(li, lj, ws.types, ws.charges, n_atoms=n_atoms),
-            nonlocal_kernel=kernel.make_block(
-                ni, nj, ws.types, ws.charges, n_atoms=n_atoms, group_key=req
-            ),
+            local=local,
+            nonlocal_kernel=nl,
             pulse_offsets=pulse_offsets,
             excl_local=(ei[el_mask], ej[el_mask]),
             excl_nonlocal=(ei[~el_mask], ej[~el_mask]),
@@ -182,6 +183,7 @@ class SegmentKernel(KernelImpl):
                 "n_nonlocal": int(ni.size),
                 "n_excluded": int(ei.size),
                 "pulse_pairs": np.diff(pulse_offsets).tolist(),
+                **_memory_stats(ws, budget, local.nbytes + nl.nbytes),
             },
         )
 
@@ -202,9 +204,11 @@ class ClusterKernel(KernelImpl):
         r_list = cfg.r_comm
         periodic = cfg.periodic
         box = np.asarray(cfg.box, dtype=np.float64)
-        lo = np.where(periodic, 0.0, pos.min(axis=0) - 1e-9)
-        hi = np.where(periodic, box, pos.max(axis=0) + 1e-9)
-        hi = np.maximum(hi, lo + r_list)
+        budget = BuildBudget(max_bytes=getattr(cfg, "max_build_bytes", None))
+        # The rank-local grid pins the home+halo extent the cluster
+        # layouts cover; clusters are binned over the same bounds.
+        grid = CellGrid.for_rank(pos, box, periodic, r_list)
+        lo, hi = grid.lo, grid.hi
         nh = ws.ns.n_home
         n = pos.shape[0]
 
@@ -217,6 +221,7 @@ class ClusterKernel(KernelImpl):
         halo = build_clusters(
             pos[nh:], lo, hi, self.m, index_offset=nh, n_total=n
         )
+        budget.note_cells(home.nbytes + halo.nbytes)
 
         # Eighth-shell zone rule as a bit test: bit d set = nonzero zone
         # shift along dim d; a pair is ours iff the bit sets are disjoint.
@@ -238,9 +243,11 @@ class ClusterKernel(KernelImpl):
         excl_i: list[np.ndarray] = []
         excl_j: list[np.ndarray] = []
         for tag, (a, b, same) in groups.items():
-            ci, cj = cluster_pair_candidates(a, b, r_list, box, periodic, same)
+            ci, cj = cluster_pair_candidates(
+                a, b, r_list, box, periodic, same, budget=budget
+            )
             masks = cluster_tile_masks(
-                pos, a, b, ci, cj, r_list, box, periodic, same
+                pos, a, b, ci, cj, r_list, box, periodic, same, budget=budget
             )
             if tag != "hh" and masks.size:
                 masks &= (
@@ -309,6 +316,7 @@ class ClusterKernel(KernelImpl):
                 "n_tiles_local": int(local.n_tiles),
                 "n_tiles_nonlocal": int(nl.n_tiles),
                 "cluster_m": self.m,
+                **_memory_stats(ws, budget, local.nbytes + nl.nbytes),
             },
         )
 
@@ -500,6 +508,26 @@ def _load_numba_tile_kernel():
 
 
 _TILE_KERNEL = None
+
+
+def _memory_stats(ws, budget: BuildBudget, pairlist_bytes: int) -> dict:
+    """Per-rank build-memory accounting carried home in the stats dict.
+
+    The stats dict is the only thing that crosses the executor boundary
+    after a pair search, so this is how worker-process builds report
+    memory back to the engine (which folds it into ``md.*`` gauges and
+    ultimately BenchRecord).  ``build_peak_bytes`` is the largest
+    transient working set plus the standing structures — the number the
+    per-atom budget in CI is asserted on.
+    """
+    n_local = max(int(ws.pos.shape[0]), 1)
+    peak = int(budget.peak_bytes + budget.cells_bytes + pairlist_bytes)
+    return {
+        "pairlist_bytes": int(pairlist_bytes),
+        "cells_bytes": int(budget.cells_bytes),
+        "build_peak_bytes": peak,
+        "build_bytes_per_atom": peak / n_local,
+    }
 
 
 def _pulse_partition(ws, ni: np.ndarray, nj: np.ndarray):

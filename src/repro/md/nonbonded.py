@@ -221,6 +221,24 @@ class PairBlock:
     def n_pairs(self) -> int:
         return int(self.i.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Stored footprint: pair indices, segment tables, cached params.
+
+        Scratch is excluded — it is transient per step and bounded by the
+        same pair count.  Feeds the ``md.pairlist.bytes`` accounting.
+        """
+        total = (
+            self.i.nbytes + self.j.nbytes
+            + self.seg_starts.nbytes + self.seg_i.nbytes
+            + self.c6.nbytes + self.c12.nbytes
+            + self.c12_12.nbytes + self.c6_6.nbytes
+            + self.qq.nbytes + self.e_shift.nbytes
+        )
+        if self.mask is not None:
+            total += self.mask.nbytes
+        return int(total)
+
     def buf(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
         """Reusable named scratch buffer (reallocated only on shape change)."""
         b = self._scratch.get(name)
@@ -449,6 +467,15 @@ class ClusterPairBlock(PairBlock):
     @property
     def n_tiles(self) -> int:
         return int(self.tile_masks.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Flat-block footprint plus the tile structure it carries."""
+        return int(
+            PairBlock.nbytes.fget(self)
+            + self.tile_atoms_i.nbytes + self.tile_atoms_j.nbytes
+            + self.tile_masks.nbytes
+        )
 
 
 def cluster_forces_dense(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.md.cells import (
+    BuildBudget,
     CellList,
     ClusterLayout,
     build_clusters,
@@ -61,6 +62,11 @@ class PairList:
     def n_pairs(self) -> int:
         return int(self.i.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Stored footprint of the list (pairs + reference positions)."""
+        return int(self.i.nbytes + self.j.nbytes + self.ref_positions.nbytes)
+
 
 @dataclass
 class VerletListBuilder:
@@ -70,6 +76,10 @@ class VerletListBuilder:
     cutoff: float
     buffer: float = 0.1  # nm; GROMACS' verlet-buffer is of this order
     nstlist: int = 20
+    #: Transient working-set cap for build stages (None = tuned defaults).
+    #: Chunk size never changes the produced list — see
+    #: :class:`repro.md.cells.BuildBudget`.
+    max_build_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.box = np.asarray(self.box, dtype=np.float64)
@@ -80,6 +90,7 @@ class VerletListBuilder:
         self.r_list = self.cutoff + self.buffer
         self._cells: CellList = periodic_cell_list(self.box, self.r_list)
         self._scratch: dict[str, np.ndarray] = {}
+        self.last_budget: BuildBudget | None = None
 
     def _buf(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
         """Reusable scratch buffer (the ``PairBlock.buf`` pattern)."""
@@ -114,16 +125,22 @@ class VerletListBuilder:
 
     def build(self, positions: np.ndarray) -> PairList:
         """Full neighbour search at the buffered radius."""
-        i, j = self._cells.pairs_within(positions, self.r_list)
+        budget = BuildBudget(max_bytes=self.max_build_bytes)
+        i, j = self._cells.pairs_within(positions, self.r_list, budget=budget)
+        self.last_budget = budget
         METRICS.counter("pairlist.builds").inc()
         METRICS.histogram("pairlist.pairs_built").observe(int(i.size))
         # pairs_within emits canonically (i, j)-lexsorted pairs, so the
         # segment-reduction invariant holds from birth.
-        return PairList(
+        pairs = PairList(
             i=i, j=j, r_list=self.r_list,
             ref_positions=np.array(positions, copy=True),
             sorted_by_i=True,
         )
+        METRICS.gauge("md.pairlist.bytes").set(pairs.nbytes)
+        METRICS.gauge("md.cells.bytes").set(budget.cells_bytes)
+        METRICS.gauge("md.build.peak_bytes").set(budget.peak_bytes)
+        return pairs
 
     def needs_rebuild(self, pairs: PairList, positions: np.ndarray) -> bool:
         """True when list-validity can no longer be guaranteed.
@@ -218,6 +235,17 @@ class ClusterPairList:
     def n_tiles(self) -> int:
         return 0 if self.tile_i is None else int(self.tile_i.size)
 
+    @property
+    def nbytes(self) -> int:
+        """Stored footprint: flat view, tile structure, layout, reference."""
+        total = int(self.i.nbytes + self.j.nbytes + self.ref_positions.nbytes)
+        for arr in (self.tile_i, self.tile_j, self.tile_masks):
+            if arr is not None:
+                total += int(arr.nbytes)
+        if self.layout is not None:
+            total += self.layout.nbytes
+        return total
+
 
 @dataclass
 class ClusterListBuilder:
@@ -237,6 +265,8 @@ class ClusterListBuilder:
     buffer: float = 0.1
     nstlist: int = 20
     m: int = 4  # atoms per cluster (4 or 8)
+    #: Transient working-set cap for build stages (None = tuned defaults).
+    max_build_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.box = np.asarray(self.box, dtype=np.float64)
@@ -248,6 +278,7 @@ class ClusterListBuilder:
             raise ValueError(f"cluster size m must be 4 or 8, got {self.m}")
         self.r_list = self.cutoff + self.buffer
         self._scratch: dict[str, np.ndarray] = {}
+        self.last_budget: BuildBudget | None = None
 
     # Share the scratch/displacement machinery with the flat builder.
     _buf = VerletListBuilder._buf
@@ -257,23 +288,31 @@ class ClusterListBuilder:
         """Full cluster-pair search at the buffered radius."""
         pos = np.asarray(positions, dtype=np.float64)
         periodic = np.ones(3, dtype=bool)
+        budget = BuildBudget(max_bytes=self.max_build_bytes)
         layout = build_clusters(pos, np.zeros(3), self.box, self.m)
+        budget.note_cells(layout.nbytes)
         ci, cj = cluster_pair_candidates(
-            layout, layout, self.r_list, self.box, periodic, same=True
+            layout, layout, self.r_list, self.box, periodic, same=True,
+            budget=budget,
         )
         masks = cluster_tile_masks(
             pos, layout, layout, ci, cj, self.r_list, self.box, periodic,
-            same=True,
+            same=True, budget=budget,
         )
         i, j = _extract_flat_pairs(layout, layout, ci, cj, masks)
+        self.last_budget = budget
         METRICS.counter("pairlist.builds").inc()
         METRICS.histogram("pairlist.pairs_built").observe(int(i.size))
         METRICS.histogram("pairlist.tiles_built").observe(int(ci.size))
-        return ClusterPairList(
+        pairs = ClusterPairList(
             i=i, j=j, r_list=self.r_list,
             ref_positions=np.array(positions, copy=True),
             layout=layout, tile_i=ci, tile_j=cj, tile_masks=masks,
         )
+        METRICS.gauge("md.pairlist.bytes").set(pairs.nbytes)
+        METRICS.gauge("md.cells.bytes").set(budget.cells_bytes)
+        METRICS.gauge("md.build.peak_bytes").set(budget.peak_bytes)
+        return pairs
 
     def needs_rebuild(self, pairs: ClusterPairList, positions: np.ndarray) -> bool:
         """Same validity rule as the flat builder (see its docstring)."""
@@ -298,7 +337,12 @@ class ClusterListBuilder:
         padded = np.vstack([pos, np.zeros((1, 3))])
         keep_r2 = keep_r * keep_r
         mm = layout.m
-        chunk = max(1, int(4e6 // (mm * mm)))
+        # Same per-tile working set as the mask build: two gathered
+        # position tiles plus the displacement/r2 slabs.
+        tile_bytes = 8 * 3 * 2 * mm + 8 * mm * mm * 4 + 2 * mm * mm
+        budget = BuildBudget(max_bytes=self.max_build_bytes)
+        chunk = max(1, min(max(n_tiles, 1),
+                           budget.rows(tile_bytes, int(4e6 // (mm * mm)))))
         for s in range(0, n_tiles, chunk):
             e = min(n_tiles, s + chunk)
             xi = padded[layout.atoms[pairs.tile_i[s:e]]]

@@ -73,6 +73,12 @@ class BenchRecord:
     #: Kernel compute precision ("float64"/"float32"); also part of the
     #: baseline identity — the float32 fast path regresses on its own.
     kernel_dtype: str = "float64"
+    #: Pair-list build working-set cap (bytes; None = uncapped).  Part of
+    #: the baseline identity: memory-capped runs trade build time for
+    #: bounded memory and must regress against their own history, never
+    #: against uncapped numbers.  Old records load as None (uncapped),
+    #: which is what they measured.
+    max_build_bytes: int | None = None
     #: Host constants the number was measured on (cpu_count, platform, python).
     machine: dict = field(default_factory=dict)
     #: ``forces_local``/``forces_nonlocal``/halo/overlap split (optional).
@@ -81,12 +87,19 @@ class BenchRecord:
     imbalance: dict | None = None
     #: Modeled energy estimate (see :mod:`repro.perf.energy`).
     energy: dict | None = None
+    #: Build-memory accounting from the ``md.*`` gauges: pairlist_bytes,
+    #: cells_bytes, build_peak_bytes, build_peak_bytes_per_atom (optional).
+    memory: dict | None = None
+    #: Strong-scaling context from ``bench_scaling``: parallel efficiency
+    #: measured vs the perf model's prediction at this rank count.
+    scaling: dict | None = None
     schema_version: int = BENCH_SCHEMA_VERSION
 
     def key(self) -> tuple:
         """The identity the rolling baseline groups by."""
         return (self.system, self.ranks, self.backend, self.executor,
-                self.overlap_comm, self.kernel, self.kernel_dtype)
+                self.overlap_comm, self.kernel, self.kernel_dtype,
+                self.max_build_bytes)
 
     def key_label(self) -> str:
         ov = "overlap" if self.overlap_comm else "no-overlap"
@@ -94,6 +107,8 @@ class BenchRecord:
                  f"/{ov}/{self.kernel}")
         if self.kernel_dtype != "float64":
             label += f"/{self.kernel_dtype}"
+        if self.max_build_bytes is not None:
+            label += f"/cap{self.max_build_bytes // (1 << 20)}M"
         return label
 
     def to_dict(self) -> dict:

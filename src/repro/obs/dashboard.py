@@ -12,7 +12,9 @@ this repo already trusts:
    table).
 2. **Bench trend** — the committed ``BENCH_step.json`` history
    (:mod:`repro.obs.bench`), newest records with the per-key delta
-   against the previous run and the rolling-baseline gate verdict.
+   against the previous run and the rolling-baseline gate verdict, plus
+   the committed trend SVGs (:mod:`repro.obs.trend`) graded
+   fresh/stale/missing against the history *before* regeneration.
 3. **Load imbalance** — the ``par.rank_us`` summaries carried by the
    latest record per key (:mod:`repro.par.imbalance`).
 4. **Energy** — the modeled J/step and ns·day⁻¹/W carried by the same
@@ -49,13 +51,22 @@ def build_report(
     history_path: str | Path = DEFAULT_HISTORY,
     threshold: float = DEFAULT_THRESHOLD,
     window: int = DEFAULT_WINDOW,
+    trends_dir: str | Path | None = None,
 ) -> dict:
     """Collect every section's data as one JSON-serializable dict."""
     from repro.harness.runner import figure_status  # heavy import kept local
+    from repro.obs.trend import DEFAULT_TRENDS_DIR, trend_status
 
     statuses = figure_status(results_dir)
     history_path = Path(history_path)
     history = BenchHistory.load(history_path)
+    # Grade the committed trend SVGs now, before any caller regenerates
+    # them — the status must reflect what is committed, not what this
+    # invocation is about to write.
+    trends_dir = Path(trends_dir) if trends_dir is not None else Path(
+        DEFAULT_TRENDS_DIR
+    )
+    trend_figures = trend_status(history, trends_dir)
 
     trends = []
     for key in history.keys():
@@ -101,6 +112,8 @@ def build_report(
         "n_records": len(history.records),
         "threshold": threshold,
         "window": window,
+        "trends_dir": str(trends_dir),
+        "trend_figures": trend_figures,
         "figures": [
             {
                 "figure": s.exp_id,
@@ -153,6 +166,12 @@ def report_problems(data: dict) -> list[str]:
                 f"bench {t['key']}: latest committed record regresses "
                 f">{data['threshold']:.0%} vs its rolling baseline"
             )
+    for f in data.get("trend_figures", []):
+        if f["status"] != "fresh":
+            problems.append(
+                f"trend figure {f['figure']}: {f['status']} ({f['detail']}) — "
+                f"{f['action']}"
+            )
     return problems
 
 
@@ -203,6 +222,30 @@ def render_markdown(data: dict) -> str:
     # -- 2. bench trend --------------------------------------------------------
     out.append("## Bench trend (committed step-throughput history)")
     out.append("")
+    if data.get("trend_figures"):
+        n_fresh = sum(
+            1 for f in data["trend_figures"] if f["status"] == "fresh"
+        )
+        out.append(
+            f"{n_fresh}/{len(data['trend_figures'])} committed trend figures "
+            f"fresh (graded against the history before regeneration):"
+        )
+        out.append("")
+        out.append(
+            _md_table(
+                ["figure", "status", "detail"],
+                [
+                    [f"[`{f['figure']}`]({f['path']})",
+                     f["status"] if f["status"] == "fresh"
+                     else f["status"].upper(),
+                     f["detail"]]
+                    for f in data["trend_figures"]
+                ],
+            )
+        )
+        for f in data["trend_figures"]:
+            out.append(f"![{f['title']}]({f['path']})")
+        out.append("")
     if not data["bench_trends"]:
         out.append(
             "_No committed bench records yet — run `benchmarks/bench_step.py` "

@@ -1,0 +1,247 @@
+"""Committed trend figures rendered from the bench history.
+
+``repro report`` turns the committed ``BENCH_step.json`` into small
+standalone SVG line charts — one per tracked metric, one polyline per
+baseline key — so the perf trajectory is visible in any markdown viewer
+without running anything.  No plotting dependency: the SVGs are built
+with string formatting only, which is exactly why they can be committed
+and diffed like source.
+
+Freshness is auditable the same way the experiment figures are: every
+SVG embeds a fingerprint of the history records it was rendered from
+(``data-bench-fingerprint``), and :func:`trend_status` grades each
+committed figure **fresh** / **stale** / **missing** against the current
+history *before* anything rewrites it.  ``repro report --check`` fails
+on non-fresh trend figures; a plain ``repro report`` regenerates them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from repro.obs.bench import BenchHistory, BenchRecord
+
+#: Where the committed trend SVGs live (under the results tree).
+DEFAULT_TRENDS_DIR = "results/trends"
+
+#: The tracked metrics: figure stem -> (title, y-axis label).
+TREND_FIGURES: dict[str, tuple[str, str]] = {
+    "ms_per_step": ("Step time trend", "ms / step"),
+    "imbalance": ("Load-imbalance trend", "imbalance %"),
+    "energy": ("Modeled energy trend", "J / step (modeled)"),
+}
+
+_FINGERPRINT_RE = re.compile(r'data-bench-fingerprint="([0-9a-f]+)"')
+
+#: Line palette (SVG named colors, distinct on white).
+_PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+)
+
+_W, _H = 720, 260
+_ML, _MR, _MT, _MB = 60, 10, 28, 34
+
+
+def history_fingerprint(history: BenchHistory) -> str:
+    """Content hash of the record list a trend figure is rendered from."""
+    payload = json.dumps(
+        [r.to_dict() for r in history.records], sort_keys=True
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _metric_value(rec: BenchRecord, metric: str) -> float | None:
+    """Extract one record's value for a tracked metric (None = no data)."""
+    if metric == "ms_per_step":
+        return float(rec.ms_per_step)
+    if metric == "imbalance":
+        # The run-averaged "overall" imbalance of the record's executor;
+        # fall back to the worst phase when "overall" is absent.
+        imb = rec.imbalance or {}
+        phases = imb.get(rec.executor) or {}
+        if not phases:
+            return None
+        stats = phases.get("overall") or max(
+            phases.values(), key=lambda s: s.get("imbalance_pct", 0.0)
+        )
+        v = stats.get("imbalance_pct")
+        return float(v) if v is not None else None
+    if metric == "energy":
+        en = rec.energy or {}
+        v = en.get("j_per_step")
+        return float(v) if v is not None else None
+    raise ValueError(f"unknown trend metric '{metric}'")
+
+
+def _series(history: BenchHistory, metric: str) -> dict[str, list[float]]:
+    """Per-key metric series, oldest first, records without data skipped."""
+    out: dict[str, list[float]] = {}
+    for key in history.keys():
+        recs = history.matching(key)
+        vals = [v for v in (_metric_value(r, metric) for r in recs)
+                if v is not None]
+        if vals:
+            out[recs[-1].key_label()] = vals
+    return out
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def render_trend_svg(history: BenchHistory, metric: str) -> str:
+    """One metric's trend as a standalone SVG document string."""
+    title, ylabel = TREND_FIGURES[metric]
+    fingerprint = history_fingerprint(history)
+    series = _series(history, metric)
+
+    legend_h = 16 * len(series)
+    height = _H + legend_h
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{height}" viewBox="0 0 {_W} {height}" '
+        f'font-family="monospace" font-size="11" '
+        f'data-bench-fingerprint="{fingerprint}">',
+        f'<rect width="{_W}" height="{height}" fill="white"/>',
+        f'<text x="{_ML}" y="16" font-size="13" font-weight="bold">'
+        f'{_esc(title)}</text>',
+    ]
+
+    if not series:
+        parts.append(
+            f'<text x="{_ML}" y="{_H // 2}" fill="#888">no committed '
+            f'records carry this metric yet</text></svg>'
+        )
+        return "\n".join(parts) + "\n"
+
+    all_vals = [v for vals in series.values() for v in vals]
+    lo, hi = min(all_vals), max(all_vals)
+    if hi <= lo:
+        lo, hi = lo - 0.5 * abs(lo) - 1e-9, hi + 0.5 * abs(hi) + 1e-9
+    span = hi - lo
+    lo -= 0.05 * span
+    hi += 0.05 * span
+    n_max = max(len(v) for v in series.values())
+
+    def x_at(i: int, n: int) -> float:
+        if n <= 1:
+            return _ML + plot_w / 2.0
+        return _ML + plot_w * i / (n_max - 1 if n_max > 1 else 1)
+
+    def y_at(v: float) -> float:
+        return _MT + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+    # Axes + horizontal gridlines with value labels.
+    parts.append(
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_MT + plot_h}" '
+        f'stroke="#333"/>'
+        f'<line x1="{_ML}" y1="{_MT + plot_h}" x2="{_ML + plot_w}" '
+        f'y2="{_MT + plot_h}" stroke="#333"/>'
+    )
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        v = lo + frac * (hi - lo)
+        y = y_at(v)
+        parts.append(
+            f'<line x1="{_ML}" y1="{y:.1f}" x2="{_ML + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>'
+            f'<text x="{_ML - 6}" y="{y + 4:.1f}" text-anchor="end">'
+            f'{v:.3g}</text>'
+        )
+    parts.append(
+        f'<text x="{_ML}" y="{_MT + plot_h + 24}" fill="#555">record # '
+        f'(oldest → newest), y: {_esc(ylabel)}</text>'
+    )
+
+    # One polyline (plus point markers) per baseline key, then a legend.
+    for idx, (label, vals) in enumerate(series.items()):
+        color = _PALETTE[idx % len(_PALETTE)]
+        pts = " ".join(
+            f"{x_at(i, len(vals)):.1f},{y_at(v):.1f}"
+            for i, v in enumerate(vals)
+        )
+        if len(vals) > 1:
+            parts.append(
+                f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5"/>'
+            )
+        for i, v in enumerate(vals):
+            parts.append(
+                f'<circle cx="{x_at(i, len(vals)):.1f}" '
+                f'cy="{y_at(v):.1f}" r="2.5" fill="{color}"/>'
+            )
+        ly = _H + 12 + 16 * idx
+        parts.append(
+            f'<line x1="{_ML}" y1="{ly - 4}" x2="{_ML + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+            f'<text x="{_ML + 24}" y="{ly}">{_esc(label)} '
+            f'(latest {vals[-1]:.3g})</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+def write_trends(
+    history: BenchHistory, out_dir: str | Path = DEFAULT_TRENDS_DIR
+) -> list[Path]:
+    """Render every tracked metric's SVG into ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for metric in TREND_FIGURES:
+        p = out_dir / f"trend_{metric}.svg"
+        p.write_text(render_trend_svg(history, metric))
+        written.append(p)
+    return written
+
+
+def trend_status(
+    history: BenchHistory, out_dir: str | Path = DEFAULT_TRENDS_DIR
+) -> list[dict]:
+    """Grade each committed trend figure against the *current* history.
+
+    Must run before anything regenerates the figures: the grade compares
+    the fingerprint embedded in the committed SVG with the fingerprint of
+    the history on disk, so a bench run that forgot ``repro report`` (or
+    a report that forgot to be committed) shows up as **stale**.
+    """
+    out_dir = Path(out_dir)
+    want = history_fingerprint(history)
+    statuses = []
+    for metric, (title, _) in TREND_FIGURES.items():
+        p = out_dir / f"trend_{metric}.svg"
+        if not p.exists():
+            status, detail = "missing", f"{p} does not exist"
+        else:
+            m = _FINGERPRINT_RE.search(p.read_text())
+            got = m.group(1) if m else None
+            if got == want:
+                status, detail = "fresh", f"fingerprint {want}"
+            else:
+                status, detail = (
+                    "stale",
+                    f"figure fingerprint {got or 'absent'} != history "
+                    f"fingerprint {want}",
+                )
+        statuses.append(
+            {
+                "figure": f"trend_{metric}",
+                "title": title,
+                "path": str(p),
+                "status": status,
+                "detail": detail,
+                "action": (
+                    "" if status == "fresh"
+                    else "run `repro report` and commit the refreshed SVGs"
+                ),
+            }
+        )
+    return statuses

@@ -73,6 +73,11 @@ class RankConfig:
     box: np.ndarray
     periodic: np.ndarray
     r_comm: float
+    #: Transient working-set cap for each rank's pair-list build stages
+    #: (bytes; ``None`` keeps the tuned default chunking).  Capped and
+    #: uncapped builds produce bit-identical lists — see
+    #: :class:`repro.md.cells.BuildBudget`.
+    max_build_bytes: int | None = None
 
 
 @dataclass

@@ -22,9 +22,14 @@ Two coherence modes, chosen by the engine per ``bind``:
   ``fetch`` memcpys arena -> parent after worker phases.  Copies, but
   still zero pickling.
 
-The arena is grow-only (25% slack) so steady-state neighbour-search
-rebuilds reuse the same mapping; workers re-attach only when the segment
-is actually replaced.
+The arena is carved into per-rank slots, allocated lazily the first time
+a rank's arrays are dispatched and sized from that rank's home+halo
+count with 25% slack.  Slots are grow-only: a neighbour search that fits
+every rank inside its existing slot reuses the same offsets (steady
+state — no relayout, no new segment), and only a rank that outgrows its
+slot forces a relayout (``par.arena.rank_grows``) and, if the total now
+exceeds the segment, a segment replacement (``par.arena.remaps``).
+Workers re-attach only when the segment is actually replaced.
 """
 
 from __future__ import annotations
@@ -47,21 +52,18 @@ from repro.par.phases import FIELDS, PHASES, RankNsData, RankWorkspace
 _ALIGN = 64
 
 
-def _layout(
-    fields: list[dict[str, np.ndarray]]
-) -> tuple[list[dict[str, tuple[int, tuple, str]]], int]:
-    """Aligned (offset, shape, dtype) arena layout for all per-rank arrays."""
-    specs: list[dict[str, tuple[int, tuple, str]]] = []
+def _slot_layout(
+    per_rank: dict[str, np.ndarray]
+) -> tuple[dict[str, tuple[int, tuple, str]], int]:
+    """Slot-relative (offset, shape, dtype) layout for one rank's arrays."""
+    spec: dict[str, tuple[int, tuple, str]] = {}
     off = 0
-    for per_rank in fields:
-        spec = {}
-        for name in FIELDS:
-            arr = per_rank[name]
-            off = (off + _ALIGN - 1) // _ALIGN * _ALIGN
-            spec[name] = (off, arr.shape, arr.dtype.str)
-            off += arr.nbytes
-        specs.append(spec)
-    return specs, max(off, _ALIGN)
+    for name in FIELDS:
+        arr = per_rank[name]
+        off = (off + _ALIGN - 1) // _ALIGN * _ALIGN
+        spec[name] = (off, arr.shape, arr.dtype.str)
+        off += arr.nbytes
+    return spec, max(off, _ALIGN)
 
 
 def _views(buf, specs, ranks=None) -> dict[int, dict[str, np.ndarray]]:
@@ -213,6 +215,11 @@ class ProcessExecutor(RankExecutor):
         self._ranks_of: list[list[int]] = []
         self._shm_box: list[shared_memory.SharedMemory] = []
         self._capacity = 0
+        #: Grow-only per-rank slot capacities (bytes); 0 = not yet
+        #: allocated (a rank's slot appears at its first dispatch).
+        self._rank_caps: list[int] = []
+        #: Byte offset of each rank's slot in the segment.
+        self._rank_offsets: list[int] = []
         self._specs: list[dict] = []
         self._arena: dict[int, dict[str, np.ndarray]] = {}
         self._src: list[dict[str, np.ndarray]] = []
@@ -285,21 +292,61 @@ class ProcessExecutor(RankExecutor):
             self._broadcast(("cfg", self._cfg))
             self._cfg_sent = True
 
-        specs, nbytes = _layout(fields)
-        if self._shm is None or nbytes > self._capacity:
-            old = self._shm
-            self._shm_box.clear()
-            if old is not None:
-                old.unlink()
-                try:
-                    old.close()
-                except BufferError:
-                    pass  # stale cluster views; the segment is already unlinked
-            size = int(nbytes * 1.25)
-            self._shm_box.append(
-                shared_memory.SharedMemory(create=True, size=size)
-            )
-            self._capacity = size
+        # Per-rank slots: size each rank's slot from its current home+halo
+        # working set, allocating lazily (first dispatch of that rank's
+        # data) and growing only when the rank outgrows its slot.  When
+        # every rank still fits, offsets — and hence the segment and the
+        # workers' mappings — are reused untouched.
+        rel_specs: list[dict] = []
+        needed: list[int] = []
+        for per_rank in fields:
+            rel, nb = _slot_layout(per_rank)
+            rel_specs.append(rel)
+            needed.append(nb)
+        if len(self._rank_caps) < len(fields):
+            self._rank_caps.extend([0] * (len(fields) - len(self._rank_caps)))
+        relayout = len(self._rank_offsets) != len(self._rank_caps)
+        for r, nb in enumerate(needed):
+            if nb > self._rank_caps[r]:
+                if self._rank_caps[r] == 0:
+                    METRICS.counter("par.arena.rank_allocs").inc()
+                else:
+                    METRICS.counter("par.arena.rank_grows").inc()
+                # 25% slack, aligned, so steady-state halo-count jitter
+                # does not force a relayout every neighbour search.
+                self._rank_caps[r] = (
+                    (int(nb * 1.25) + _ALIGN - 1) // _ALIGN * _ALIGN
+                )
+                relayout = True
+        if relayout:
+            off = 0
+            self._rank_offsets = []
+            for cap in self._rank_caps:
+                self._rank_offsets.append(off)
+                off += cap
+            total = max(off, _ALIGN)
+            if self._shm is None or total > self._capacity:
+                old = self._shm
+                self._shm_box.clear()
+                if old is not None:
+                    METRICS.counter("par.arena.remaps").inc()
+                    old.unlink()
+                    try:
+                        old.close()
+                    except BufferError:
+                        pass  # stale cluster views; segment already unlinked
+                self._shm_box.append(
+                    shared_memory.SharedMemory(create=True, size=total)
+                )
+                self._capacity = total
+        METRICS.gauge("par.arena.bytes").set(self._capacity)
+        specs = [
+            {
+                name: (self._rank_offsets[r] + off, shape, dtype)
+                for name, (off, shape, dtype) in rel.items()
+            }
+            for r, rel in enumerate(rel_specs)
+        ]
         self._specs = specs
         self._arena = _views(self._shm.buf, specs)
         for rank, per_rank in enumerate(fields):
@@ -469,6 +516,8 @@ class ProcessExecutor(RankExecutor):
         self._conns = []
         self._cfg_sent = False
         self._capacity = 0
+        self._rank_caps = []
+        self._rank_offsets = []
         self._bound = False
 
     def __del__(self) -> None:  # pragma: no cover - belt and braces

@@ -129,6 +129,13 @@ class ArtifactCache:
         def factory(sim):
             if sim.step_count != 0 or sim.cluster is not None:
                 return build_cluster(sim.system, sim.dd, trim_corners=sim.trim_corners)
+            # The kernel name and dtype are part of the key even though
+            # today's snapshot holds only pre-pair-search state: kernels
+            # are free to specialize what build_cluster materializes
+            # (layouts, array dtypes), and a "cluster" job must never
+            # replay a snapshot a "segment" job built.  A stale-keyed
+            # replay would be silent — trajectories diverge only when the
+            # snapshot shape drifts — so the key is defensive by design.
             key = (
                 "cluster0",
                 spec.system_key(),
@@ -136,6 +143,8 @@ class ArtifactCache:
                 round(sim.dd.r_comm, 12),
                 sim.dd.max_pulses,
                 sim.trim_corners,
+                getattr(spec, "kernel", "segment"),
+                getattr(spec, "kernel_dtype", "float64"),
             )
             snapshot = self.get_or_build(
                 key, lambda: _snapshot_cluster(sim)

@@ -71,6 +71,10 @@ class SimulationSpec:
     #: "cluster-numba") and compute precision ("float64"/"float32").
     kernel: str = "segment"
     kernel_dtype: str = "float64"
+    #: Per-rank pair-list build working-set cap in bytes (None = tuned
+    #: default chunking).  Purely a memory/perf knob: capped builds are
+    #: bit-identical to uncapped ones.
+    max_build_bytes: int | None = None
     # -- determinism ----------------------------------------------------------
     seed: int = 7
     # -- chaos ----------------------------------------------------------------
@@ -108,6 +112,11 @@ class SimulationSpec:
             raise ValueError(
                 f"unknown kernel_dtype '{self.kernel_dtype}'; "
                 f"use one of {KERNEL_DTYPES}"
+            )
+        if self.max_build_bytes is not None and int(self.max_build_bytes) < 4096:
+            raise ValueError(
+                f"max_build_bytes must be >= 4096 bytes or None, "
+                f"got {self.max_build_bytes}"
             )
 
     # -- derived --------------------------------------------------------------

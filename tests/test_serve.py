@@ -170,6 +170,30 @@ class TestExecuteSpec:
         stats = cache.stats()
         assert stats["hits"] > 0
 
+    def test_cluster0_snapshot_keyed_by_kernel(self):
+        """A cluster-kernel job must never replay a segment-built snapshot.
+
+        Regression test for the cluster0 cache key: it has to include the
+        spec's kernel and kernel_dtype, so the second job below records a
+        cluster0 *miss* (its own build), not a hit on the first job's
+        snapshot.
+        """
+        miss_counter = METRICS.counter("serve.cache.misses", kind="cluster0")
+        cache = ArtifactCache()
+        before = miss_counter.value
+        seg = execute_spec(SPEC, cache=cache)
+        after_segment = miss_counter.value
+        clu = execute_spec(SPEC.with_(kernel="cluster"), cache=cache)
+        after_cluster = miss_counter.value
+        assert after_segment == before + 1
+        assert after_cluster == after_segment + 1  # distinct key -> new build
+        # Same physics regardless of which kernel built the snapshot.
+        assert seg["digest"] == clu["digest"]
+        # And the dtype is part of the key too.
+        execute_spec(SPEC.with_(kernel="cluster", kernel_dtype="float32"),
+                     cache=cache)
+        assert miss_counter.value == after_cluster + 1
+
     def test_verify_kind(self):
         spec = SPEC.with_(kind="verify", backend="nvshmem", pes_per_node=2,
                           max_pulses=2, nstlist=2)
