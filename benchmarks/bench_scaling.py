@@ -20,8 +20,11 @@ hardware would allow.
 Every configuration appends a :class:`repro.obs.bench.BenchRecord` to
 the committed history (default ``BENCH_step.json``) under its own
 baseline key — ``(system, ranks, backend, executor, overlap, kernel,
-dtype, max_build_bytes)`` — so ``--check`` gates each sweep point
-against its own rolling baseline, exactly like ``bench_step``.
+dtype, max_build_bytes, dlb)`` — so ``--check`` gates each sweep point
+against its own rolling baseline, exactly like ``bench_step``.  Systems
+may carry a density-scenario prefix ("slab-45k", "droplet-45k"): the
+sweep then runs the inhomogeneous generator and the imbalance column
+shows what DLB (``--dlb pairs``) buys at each rank count.
 
 Memory discipline is enforced, not just observed: ``--assert-bytes-per-atom``
 fails the run when any configuration's per-rank build peak (the
@@ -54,7 +57,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.dd import DDSimulator, resolve_backend_executor
-from repro.md import default_forcefield, make_grappa_system
+from repro.md import default_forcefield, make_system
 from repro.obs.bench import (
     DEFAULT_HISTORY,
     DEFAULT_THRESHOLD,
@@ -103,6 +106,7 @@ def bench_config(
     system: str, ranks: int, steps: int, *,
     backend: str, executor: str, kernel: str, kernel_dtype: str,
     seed: int, nstlist: int, max_build_bytes: int | None,
+    dlb: str = "off", warmup_steps: int = 1,
 ) -> dict:
     """Steady-state ms/step for one (system, ranks) sweep point."""
     n_atoms = resolve_atoms(system)
@@ -111,21 +115,24 @@ def bench_config(
     except ValueError as err:
         raise SystemExit(str(err)) from None
     ff = default_forcefield(cutoff=0.65)
-    md_system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
+    md_system = make_system(system, seed=seed, ff=ff, dtype=np.float64)
     with DDSimulator(
         md_system, ff, n_ranks=ranks, backend=backend_obj,
         executor=executor_obj, nstlist=nstlist, buffer=0.12,
         overlap_comm=True, kernel=kernel, kernel_dtype=kernel_dtype,
-        max_build_bytes=max_build_bytes,
+        max_build_bytes=max_build_bytes, dlb=dlb,
     ) as sim:
-        sim.step()  # warm-up: first neighbour search + pool spin-up
+        sim.run(warmup_steps)  # first neighbour search, pool spin-up, DLB settle
         memory = build_memory_snapshot()
         METRICS.reset()
         t0 = time.perf_counter()
         sim.run(steps)
         elapsed = time.perf_counter() - t0
         checksum = float(np.sum(sim.system.positions))
+        dlb_adjustments = sim.dlb_adjustments
     ms = elapsed * 1e3 / steps
+    summary = record_imbalance(executor=executor)
+    overall = (summary.get(executor) or {}).get("overall")
     return {
         "system": system,
         "n_atoms": n_atoms,
@@ -133,8 +140,12 @@ def bench_config(
         "ms_per_step": ms,
         "steps_per_s": 1e3 / ms,
         "measured_steps": steps,
+        "warmup_steps": warmup_steps,
         "checksum": checksum,
-        "imbalance": record_imbalance(executor=executor),
+        "dlb": dlb,
+        "dlb_adjustments": dlb_adjustments,
+        "imbalance": summary,
+        "imbalance_pct": None if overall is None else overall["imbalance_pct"],
         "memory": memory,
         "peak_rss_mb": peak_rss_mb(),
     }
@@ -174,19 +185,22 @@ def markdown_table(points: list[dict], cpu_count: int | None) -> str:
     """The sweep as a README-ready GitHub markdown table."""
     lines = [
         "| system | atoms | ranks | ms/step | efficiency (measured) "
-        "| efficiency (model, nvshmem) | build peak B/atom |",
-        "|---|---|---|---|---|---|---|",
+        "| efficiency (model, nvshmem) | build peak B/atom | imbalance % | dlb |",
+        "|---|---|---|---|---|---|---|---|---|",
     ]
     for p in points:
         s = p["scaling"]
         model = s["model_efficiency"]
         model_txt = f"{model:.2f}" if model is not None else "n/a"
+        imb = p.get("imbalance_pct")
+        imb_txt = f"{imb:.0f}" if imb is not None else "n/a"
         lines.append(
             f"| {p['system']} | {p['n_atoms']:,} | {p['ranks']} "
             f"| {p['ms_per_step']:.1f} "
             f"| {s['measured_efficiency']:.2f} "
             f"| {model_txt} "
-            f"| {p['memory']['build_peak_bytes_per_atom']:.0f} |"
+            f"| {p['memory']['build_peak_bytes_per_atom']:.0f} "
+            f"| {imb_txt} | {p.get('dlb', 'off')} |"
         )
     lines.append("")
     lines.append(
@@ -220,6 +234,13 @@ def main(argv: list[str] | None = None) -> None:
                         default=DEFAULT_MAX_BUILD_BYTES, metavar="BYTES",
                         help="per-rank build working-set cap "
                              "(default: 64M; '0' = uncapped)")
+    parser.add_argument("--dlb", default="off",
+                        choices=["off", "pairs", "measured"],
+                        help="dynamic load balancing mode (recorded as part "
+                             "of each point's baseline key)")
+    parser.add_argument("--warmup-steps", type=int, default=None,
+                        help="untimed steps per point (default: 1, or "
+                             "6*nstlist with DLB on so boundaries converge)")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--machine", default="dgx-h100",
                         help="modeled machine for the efficiency prediction")
@@ -255,10 +276,14 @@ def main(argv: list[str] | None = None) -> None:
     cap_label = (
         f"{max_build_bytes // (1 << 20)}M cap" if max_build_bytes else "uncapped"
     )
+    warmup_steps = args.warmup_steps
+    if warmup_steps is None:
+        warmup_steps = 1 if args.dlb == "off" else 6 * args.nstlist
     print(
         f"bench_scaling: systems {args.systems}, ranks {args.rank_counts}, "
         f"{args.executor}/{args.kernel}/{args.kernel_dtype}, {cap_label}, "
-        f"{args.steps} steps/point, {os.cpu_count()} cpus"
+        f"dlb {args.dlb}, {args.steps} steps/point "
+        f"(+{warmup_steps} warm-up), {os.cpu_count()} cpus"
     )
 
     points = []
@@ -270,14 +295,17 @@ def main(argv: list[str] | None = None) -> None:
                 kernel=args.kernel, kernel_dtype=args.kernel_dtype,
                 seed=args.seed, nstlist=args.nstlist,
                 max_build_bytes=max_build_bytes,
+                dlb=args.dlb, warmup_steps=warmup_steps,
             )
             points.append(p)
             mem = p["memory"]
+            imb = p.get("imbalance_pct")
+            imb_txt = f" | imb {imb:5.0f}%" if imb is not None else ""
             print(
                 f"  {system:>6} @ {ranks:>2}r  {p['ms_per_step']:9.1f} ms/step"
                 f" | build peak {mem['build_peak_bytes'] / (1 << 20):8.1f} MiB"
                 f" ({mem['build_peak_bytes_per_atom']:6.0f} B/atom)"
-                f" | rss {p['peak_rss_mb']:7.0f} MiB"
+                f" | rss {p['peak_rss_mb']:7.0f} MiB{imb_txt}"
             )
 
     attach_efficiency(points, machine)
@@ -305,6 +333,8 @@ def main(argv: list[str] | None = None) -> None:
         "kernel": args.kernel,
         "kernel_dtype": args.kernel_dtype,
         "max_build_bytes": max_build_bytes,
+        "dlb": args.dlb,
+        "warmup_steps": warmup_steps,
         "steps": args.steps,
         "nstlist": args.nstlist,
         "model_machine": args.machine,
@@ -370,6 +400,7 @@ def main(argv: list[str] | None = None) -> None:
             kernel=args.kernel,
             kernel_dtype=args.kernel_dtype,
             max_build_bytes=max_build_bytes,
+            dlb=args.dlb,
             machine=machine_ctx,
             imbalance=p.get("imbalance"),
             memory=p.get("memory"),

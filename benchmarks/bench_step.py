@@ -49,7 +49,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.dd import DDSimulator, resolve_backend_executor
-from repro.md import default_forcefield, make_grappa_system
+from repro.md import default_forcefield, make_system
 from repro.md.grappa import resolve_atoms as _resolve_atoms
 from repro.obs.bench import (
     DEFAULT_HISTORY,
@@ -104,10 +104,15 @@ def _phase_breakdown(executor: str, steps: int) -> dict:
     """Collect the per-phase and overlap metrics accumulated since reset."""
 
     def phase_ms(phase: str) -> float:
-        return (
-            METRICS.histogram("par.rank_us", executor=executor, phase=phase).sum
-            / 1e3
+        # Sum across the per-rank histograms (labels executor/phase/rank).
+        total_us = sum(
+            m.sum
+            for name, labels, m in METRICS.collect("par.rank_us")
+            if name == "par.rank_us"
+            and dict(labels).get("executor") == executor
+            and dict(labels).get("phase") == phase
         )
+        return total_us / 1e3
 
     halo_us = METRICS.histogram("par.overlap.halo_us", executor=executor).sum
     hidden_us = METRICS.histogram("par.overlap.hidden_us", executor=executor).sum
@@ -138,45 +143,64 @@ def build_memory_snapshot() -> dict:
 
 
 def bench_executor(
-    executor: str, n_atoms: int, ranks: int, steps: int, *,
+    executor: str, system_label: str, ranks: int, steps: int, *,
     backend: str, seed: int, nstlist: int,
     phase_breakdown: bool = False, overlap: bool = True,
     kernel: str = "segment", kernel_dtype: str = "float64",
     max_build_bytes: int | None = None,
+    dlb: str = "off", warmup_steps: int = 1,
 ) -> dict:
-    """Steady-state ms/step for one executor (first step excluded)."""
+    """Steady-state ms/step for one executor (warm-up steps excluded).
+
+    With DLB enabled, the warm-up window is where the boundaries converge
+    (several neighbour searches); the timed window then measures the
+    *balanced* steady state, exactly as the uniform-grid bench measures
+    the post-spin-up steady state.
+    """
     try:
         backend_obj, executor_obj = resolve_backend_executor(backend, executor)
     except ValueError as err:
         raise SystemExit(str(err)) from None
     ff = default_forcefield(cutoff=0.65)
-    system = make_grappa_system(n_atoms, seed=seed, ff=ff, dtype=np.float64)
+    system = make_system(system_label, seed=seed, ff=ff, dtype=np.float64)
     with DDSimulator(
         system, ff, n_ranks=ranks, backend=backend_obj, executor=executor_obj,
         nstlist=nstlist, buffer=0.12, overlap_comm=overlap,
         kernel=kernel, kernel_dtype=kernel_dtype,
-        max_build_bytes=max_build_bytes,
+        max_build_bytes=max_build_bytes, dlb=dlb,
     ) as sim:
-        sim.step()  # warm-up: first neighbour search + pool spin-up
+        sim.run(warmup_steps)  # first neighbour search, pool spin-up, DLB settle
         memory = build_memory_snapshot()
         METRICS.reset()  # count only the timed steps (rank_us, overlap, ...)
         t0 = time.perf_counter()
         sim.run(steps)
         elapsed = time.perf_counter() - t0
         checksum = float(np.sum(sim.system.positions))
+        dlb_adjustments = sim.dlb_adjustments
     ms = elapsed * 1e3 / steps
     r = {
         "executor": executor,
         "ms_per_step": ms,
         "steps_per_s": 1e3 / ms,
         "measured_steps": steps,
+        "warmup_steps": warmup_steps,
         "checksum": checksum,
+        "dlb": dlb,
+        "dlb_adjustments": dlb_adjustments,
         "imbalance": record_imbalance(executor=executor),
         "memory": memory,
     }
     if phase_breakdown:
         r["phase_breakdown"] = _phase_breakdown(executor, steps)
     return r
+
+
+def overall_imbalance(result: dict) -> float | None:
+    """The executor's run-wide ``par.imbalance`` overall %% (None if absent)."""
+    summary = result.get("imbalance") or {}
+    phases = summary.get(result["executor"]) or {}
+    overall = phases.get("overall")
+    return None if overall is None else float(overall["imbalance_pct"])
 
 
 def _energy_dict(args, n_atoms: int, result: dict) -> dict | None:
@@ -218,6 +242,19 @@ def main(argv: list[str] | None = None) -> None:
                         help="pair-list build working-set cap per rank "
                              "(e.g. 64M; bit-identical, bounds build memory; "
                              "recorded as part of the baseline key)")
+    parser.add_argument("--dlb", default="off",
+                        choices=["off", "pairs", "measured"],
+                        help="dynamic load balancing mode (recorded as part "
+                             "of the baseline key; 'pairs' is deterministic)")
+    parser.add_argument("--warmup-steps", type=int, default=None,
+                        help="untimed steps before measurement (default: 1, "
+                             "or 6*nstlist with DLB on so boundaries converge "
+                             "before the timed window)")
+    parser.add_argument("--assert-imbalance-reduction", type=float,
+                        default=None, metavar="FACTOR",
+                        help="with --dlb on: also run a dlb=off twin per "
+                             "executor and fail unless DLB cuts the overall "
+                             "par.imbalance by at least FACTOR (e.g. 2.0)")
     parser.add_argument("--backend", default="reference",
                         choices=("reference", "mpi", "threadmpi", "nvshmem"))
     parser.add_argument("--executors", nargs="+",
@@ -255,26 +292,57 @@ def main(argv: list[str] | None = None) -> None:
                              f"(default: {DEFAULT_WINDOW})")
     args = parser.parse_args(argv)
 
+    if args.assert_imbalance_reduction is not None:
+        if args.dlb == "off":
+            raise SystemExit(
+                "--assert-imbalance-reduction needs --dlb pairs|measured "
+                "(there is nothing to compare against with DLB off)"
+            )
+        if args.assert_imbalance_reduction <= 1.0:
+            raise SystemExit(
+                f"--assert-imbalance-reduction must be > 1.0, got "
+                f"{args.assert_imbalance_reduction}"
+            )
+    warmup_steps = args.warmup_steps
+    if warmup_steps is None:
+        warmup_steps = 1 if args.dlb == "off" else 6 * args.nstlist
     n_atoms = resolve_atoms(args.system)
     print(
-        f"bench_step: {n_atoms} atoms, {args.ranks} ranks, backend "
-        f"{args.backend}, {args.steps} steps/executor, "
-        f"{os.cpu_count()} cpus"
+        f"bench_step: {args.system} ({n_atoms} atoms), {args.ranks} ranks, "
+        f"backend {args.backend}, {args.steps} steps/executor "
+        f"(+{warmup_steps} warm-up), dlb {args.dlb}, {os.cpu_count()} cpus"
     )
     results = []
+    twins: dict[str, dict] = {}  # executor -> dlb=off twin result
     for executor in args.executors:
         r = bench_executor(
-            executor, n_atoms, args.ranks, args.steps,
+            executor, args.system, args.ranks, args.steps,
             backend=args.backend, seed=args.seed, nstlist=args.nstlist,
             phase_breakdown=args.phase_breakdown, overlap=not args.no_overlap,
             kernel=args.kernel, kernel_dtype=args.kernel_dtype,
             max_build_bytes=args.max_build_bytes,
+            dlb=args.dlb, warmup_steps=warmup_steps,
         )
         results.append(r)
         mem = r["memory"]
+        imb = overall_imbalance(r)
+        imb_txt = "" if imb is None else f" | imbalance {imb:.0f}%"
         print(f"  {executor:<8} {r['ms_per_step']:9.2f} ms/step | build peak "
               f"{mem['build_peak_bytes'] / (1 << 20):.1f} MiB "
-              f"({mem['build_peak_bytes_per_atom']:.0f} B/atom)")
+              f"({mem['build_peak_bytes_per_atom']:.0f} B/atom){imb_txt}")
+        if args.assert_imbalance_reduction is not None:
+            twins[executor] = bench_executor(
+                executor, args.system, args.ranks, args.steps,
+                backend=args.backend, seed=args.seed, nstlist=args.nstlist,
+                overlap=not args.no_overlap,
+                kernel=args.kernel, kernel_dtype=args.kernel_dtype,
+                max_build_bytes=args.max_build_bytes,
+                dlb="off", warmup_steps=warmup_steps,
+            )
+            off_imb = overall_imbalance(twins[executor])
+            print(f"           dlb=off twin: "
+                  f"{twins[executor]['ms_per_step']:.2f} ms/step | imbalance "
+                  f"{off_imb:.0f}% -> {imb:.0f}% with dlb={args.dlb}")
         if args.phase_breakdown:
             pb = r["phase_breakdown"]
             print(
@@ -288,9 +356,13 @@ def main(argv: list[str] | None = None) -> None:
     by_name = {r["executor"]: r for r in results}
     serial = by_name.get("serial")
     if serial is not None:
-        checksums = {r["checksum"] for r in results}
-        if len(checksums) != 1:
-            raise SystemExit("FAILED: executors disagree on final positions")
+        # "measured" DLB resizes from wall-clock timings, so different
+        # executors legitimately converge to different decompositions;
+        # every deterministic mode must still agree bit for bit.
+        if args.dlb != "measured":
+            checksums = {r["checksum"] for r in results}
+            if len(checksums) != 1:
+                raise SystemExit("FAILED: executors disagree on final positions")
         for r in results:
             r["speedup_vs_serial"] = serial["ms_per_step"] / r["ms_per_step"]
         for r in results:
@@ -315,8 +387,11 @@ def main(argv: list[str] | None = None) -> None:
         "kernel": args.kernel,
         "kernel_dtype": args.kernel_dtype,
         "max_build_bytes": args.max_build_bytes,
+        "dlb": args.dlb,
+        "warmup_steps": warmup_steps,
         **machine_ctx,
         "results": results,
+        "dlb_off_twins": list(twins.values()) or None,
     }
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
@@ -332,6 +407,33 @@ def main(argv: list[str] | None = None) -> None:
                 f"np.add.at scatter path {fallbacks} time(s)"
             )
 
+    # -- imbalance-reduction gate (the DLB acceptance check) -------------------
+    if args.assert_imbalance_reduction is not None:
+        factor = args.assert_imbalance_reduction
+        failures = []
+        for r in results:
+            off = twins[r["executor"]]
+            on_imb, off_imb = overall_imbalance(r), overall_imbalance(off)
+            if on_imb is None or off_imb is None:
+                failures.append(f"{r['executor']}: no par.rank_us observations")
+            elif off_imb <= 0.0:
+                failures.append(
+                    f"{r['executor']}: dlb=off imbalance is {off_imb:.1f}% — "
+                    f"nothing to balance; use an inhomogeneous --system"
+                )
+            elif off_imb < factor * on_imb:
+                failures.append(
+                    f"{r['executor']}: {off_imb:.1f}% -> {on_imb:.1f}% is only "
+                    f"{off_imb / max(on_imb, 1e-9):.2f}x (need >= {factor:.2f}x)"
+                )
+        if failures:
+            raise SystemExit(
+                "FAILED: DLB imbalance reduction below required factor:\n  "
+                + "\n  ".join(failures)
+            )
+        print(f"OK: dlb={args.dlb} cuts overall imbalance >= "
+              f"{args.assert_imbalance_reduction:.2f}x on every executor")
+
     if args.no_history:
         return
 
@@ -344,7 +446,10 @@ def main(argv: list[str] | None = None) -> None:
     )
     history = BenchHistory.load(args.history)
     new_records = []
-    for r in results:
+    # The dlb=off twins (when --assert-imbalance-reduction ran) are real
+    # measurements under their own baseline key; committing both sides
+    # keeps the before/after imbalance evidence in the history itself.
+    for r in results + list(twins.values()):
         energy = _energy_dict(args, n_atoms, r)
         new_records.append(
             BenchRecord(
@@ -362,6 +467,7 @@ def main(argv: list[str] | None = None) -> None:
                 kernel=args.kernel,
                 kernel_dtype=args.kernel_dtype,
                 max_build_bytes=args.max_build_bytes,
+                dlb=r["dlb"],
                 machine=machine_ctx,
                 phase_breakdown=r.get("phase_breakdown"),
                 imbalance=r.get("imbalance"),

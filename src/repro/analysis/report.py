@@ -275,12 +275,47 @@ def ablation_cuda_graph() -> Table:
     return tbl
 
 
+def _executed_slab_imbalance(dlb: str) -> float:
+    """Pair-count imbalance fraction of a real executed slab DD run.
+
+    A short inhomogeneous (slab) run on a 1x1x4 grid, serial executor:
+    the per-rank pair counts after the final neighbour search are a pure
+    function of the trajectory, so the returned fraction is deterministic
+    — safe for the committed-CSV drift check, unlike wall-clock numbers.
+    With ``dlb="pairs"`` the run resizes its DD cells between searches
+    and the fraction drops; with ``"off"`` the uniform grid keeps the
+    dense slab concentrated on the middle ranks.
+    """
+    import numpy as np
+
+    from repro.dd import DDGrid, DDSimulator
+    from repro.md import default_forcefield, make_system
+
+    ff = default_forcefield(cutoff=0.65)
+    system = make_system("slab-1400", seed=3, ff=ff, dtype=np.float64)
+    with DDSimulator(
+        system, ff, grid=DDGrid((1, 1, 4)), nstlist=2, buffer=0.12,
+        max_pulses=2, dlb=dlb,
+    ) as sim:
+        sim.run(9)
+        pairs = np.array(
+            [w.n_pairs_local + w.n_pairs_nonlocal for w in sim.workloads],
+            dtype=np.float64,
+        )
+    return float(pairs.max() / pairs.mean() - 1.0)
+
+
 def ablation_imbalance() -> Table:
     """ABL-IMB: load imbalance — GPU-resident spin vs CPU resync (Sec. 7).
 
     The paper: NVSHMEM's waiting block groups burn SM time when PEs run
     imbalanced; their workaround resynchronizes PEs on the CPU, trading the
     fully GPU-resident schedule for less resource competition.
+
+    The synthetic sweep (0/5/15% lateness) is joined by *executed* rows:
+    the pair-count imbalance a slab system actually produces on a real DD
+    run (:func:`_executed_slab_imbalance`), with and without dynamic load
+    balancing, plugged into the same model — what DLB buys end to end.
     """
     tbl = Table(
         columns=("case", "imbalance", "sync", "step_us", "ns_per_day"),
@@ -297,6 +332,18 @@ def ablation_imbalance() -> Table:
                     f"{size}/{ranks}r", imb, mode, t.time_per_step,
                     ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
                 )
+    wl = grappa_workload(GRAPPA_SIZES["2880k"], 32, EOS)
+    for dlb in ("off", "pairs"):
+        imb = round(_executed_slab_imbalance(dlb), 3)
+        for mode in ("gpu", "cpu"):
+            _, t = simulate_step(
+                wl, EOS, backend="nvshmem", imbalance=imb, imbalance_sync=mode
+            )
+            tbl.add_row(
+                f"slab-1400/4r/dlb-{dlb} (executed)", imb, mode,
+                t.time_per_step,
+                ms_per_step_to_ns_per_day(t.time_per_step * 1e-3),
+            )
     return tbl
 
 

@@ -60,10 +60,25 @@ class ChaosConfig:
     n_faults: int = 4
     kernel: str = "segment"  # non-bonded kernel registry name
     max_build_bytes: int | None = None  # pair-list build working-set cap
+    #: Density scenario of the synthetic system ("uniform", "slab",
+    #: "droplet", "gap") — inhomogeneous cases exercise DLB under faults.
+    scenario: str = "uniform"
+    #: Dynamic load balancing mode.  Chaos campaigns must use "off" or
+    #: the deterministic "pairs" mode: the bit-identity oracle is the
+    #: same config on the reference backend, and "measured" would let
+    #: wall-clock noise steer the two runs into different decompositions.
+    dlb: str = "off"
 
     @property
     def n_ranks(self) -> int:
         return int(np.prod(self.shape))
+
+    @property
+    def system_label(self) -> str:
+        """The spec-side system label ("1400" or "slab-1400")."""
+        if self.scenario == "uniform":
+            return str(self.atoms)
+        return f"{self.scenario}-{self.atoms}"
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -87,9 +102,16 @@ class ChaosConfig:
         # chaos.plan, whose package __init__ pulls this module back in.
         from repro.serve.spec import SimulationSpec
 
+        if self.dlb == "measured":
+            raise ValueError(
+                "chaos campaigns cannot use dlb='measured': the bit-identity "
+                "oracle re-runs the same config on the reference backend, and "
+                "wall-clock-driven resizing would diverge the two "
+                "decompositions; use the deterministic 'pairs' mode"
+            )
         return SimulationSpec(
             kind="chaos",
-            system=str(self.atoms),
+            system=self.system_label,
             steps=self.steps,
             shape=tuple(self.shape),
             max_pulses=self.max_pulses,
@@ -103,6 +125,7 @@ class ChaosConfig:
             seed=self.system_seed,
             n_faults=self.n_faults,
             fault_plan=fault_plan,
+            dlb=self.dlb,
         )
 
 

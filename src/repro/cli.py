@@ -64,9 +64,9 @@ def _resolve_atoms(system: str) -> int:
 
 
 def _functional_ms_per_step(
-    n_atoms: int, ranks: int, backend: str, executor: str, steps: int,
+    system: str, ranks: int, backend: str, executor: str, steps: int,
     seed: int = 7, server: str | None = None, kernel: str = "segment",
-    max_build_bytes: int | None = None,
+    max_build_bytes: int | None = None, dlb: str = "off",
 ) -> float:
     """Wall-clock ms/step of a real DD run with the chosen executor.
 
@@ -74,14 +74,15 @@ def _functional_ms_per_step(
     in-process when ``server`` is None, to a running serve instance
     otherwise — so the measured path is the service path.  The reported
     figure includes the first neighbour search and pool spin-up.
+    ``system`` keeps its scenario label ("slab-45k" stays a slab run).
     """
     from repro.serve import SimulationSpec, submit_and_wait
 
     spec = SimulationSpec(
-        system=str(n_atoms), steps=steps, ranks=ranks,
+        system=system, steps=steps, ranks=ranks,
         backend=backend, executor=executor, seed=seed,
         nstlist=10, buffer=0.12, kernel=kernel,
-        max_build_bytes=max_build_bytes,
+        max_build_bytes=max_build_bytes, dlb=dlb,
     )
     return submit_and_wait(spec, server=server)["ms_per_step"]
 
@@ -112,9 +113,9 @@ def cmd_compare(args) -> None:
         if args.measure:
             row.append(
                 _functional_ms_per_step(
-                    n_atoms, args.gpus, backend, args.executor, args.measure,
+                    args.system, args.gpus, backend, args.executor, args.measure,
                     server=args.server, kernel=args.kernel,
-                    max_build_bytes=args.max_build_bytes,
+                    max_build_bytes=args.max_build_bytes, dlb=args.dlb,
                 )
             )
         tbl.add_row(*row)
@@ -156,9 +157,9 @@ def cmd_scaling(args) -> None:
         if args.measure:
             row.append(
                 _functional_ms_per_step(
-                    n_atoms, gpus, "nvshmem", args.executor, args.measure,
+                    args.system, gpus, "nvshmem", args.executor, args.measure,
                     server=args.server, kernel=args.kernel,
-                    max_build_bytes=args.max_build_bytes,
+                    max_build_bytes=args.max_build_bytes, dlb=args.dlb,
                 )
             )
         tbl.add_row(*row)
@@ -210,10 +211,10 @@ def _cmd_profile_functional(args) -> None:
 
     n_atoms = _resolve_atoms(args.system)
     spec = SimulationSpec(
-        kind="profile", system=str(n_atoms), steps=args.steps,
+        kind="profile", system=args.system, steps=args.steps,
         ranks=args.ranks, backend=args.backend, executor=args.executor,
         nstlist=10, buffer=0.12, kernel=args.kernel,
-        max_build_bytes=args.max_build_bytes,
+        max_build_bytes=args.max_build_bytes, dlb=args.dlb,
         overlap_comm=not getattr(args, "no_overlap", False),
     )
     want_raw_trace = bool(args.trace) and args.server is None
@@ -395,14 +396,18 @@ def cmd_verify(args) -> None:
     from repro.obs.tracer import TRACER
     from repro.serve import SimulationSpec, submit_and_wait
 
+    system = (
+        str(args.atoms) if args.scenario == "uniform"
+        else f"{args.scenario}-{args.atoms}"
+    )
     spec = SimulationSpec(
-        kind="verify", system=str(args.atoms), steps=args.steps,
+        kind="verify", system=system, steps=args.steps,
         ranks=args.ranks, seed=args.seed,
         backend="nvshmem", executor=args.executor,
         pes_per_node=max(1, args.ranks // 2),
         nstlist=5, buffer=0.12, max_pulses=2,
         overlap_comm=not args.no_overlap, kernel=args.kernel,
-        max_build_bytes=args.max_build_bytes,
+        max_build_bytes=args.max_build_bytes, dlb=args.dlb,
     )
     want_raw_trace = bool(args.trace) and args.server is None
     if want_raw_trace:
@@ -485,6 +490,8 @@ def cmd_chaos(args) -> None:
             n_faults=args.faults,
             kernel=args.kernel,
             max_build_bytes=args.max_build_bytes,
+            scenario=args.scenario,
+            dlb=args.dlb,
         )
         res = run_campaign(
             cfg, runs=args.runs, seed0=args.seed, mutation=args.mutate, log=log
@@ -540,6 +547,7 @@ def _cmd_chaos_remote(args, backends: tuple, shape: tuple) -> None:
             pes_per_node=args.pes_per_node, executor=args.executor,
             n_faults=args.faults, kernel=args.kernel,
             max_build_bytes=args.max_build_bytes,
+            scenario=args.scenario, dlb=args.dlb,
         )
         for i in range(args.runs):
             plan = FaultPlan.generate(
@@ -663,6 +671,17 @@ def main(argv: list[str] | None = None) -> None:
         choices=("segment", "cluster", "cluster-numba"), default="segment",
         help="non-bonded kernel for functional runs (repro.md.kernels)",
     )
+    dlb_flag = dict(
+        choices=("off", "pairs", "measured"), default="off",
+        help="dynamic load balancing for functional runs: 'pairs' resizes "
+             "DD cells from deterministic per-rank pair counts, 'measured' "
+             "from wall-clock rank timings (see repro.dd.dlb)",
+    )
+    scenario_flag = dict(
+        choices=("uniform", "slab", "droplet", "gap"), default="uniform",
+        help="density scenario of the synthetic system (inhomogeneous "
+             "scenarios are what DLB is for; see repro.md.inhomogeneous)",
+    )
 
     def nonneg_int(value: str) -> int:
         n = int(value)
@@ -700,6 +719,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--max-build-bytes", **build_bytes_flag)
+    p.add_argument("--dlb", **dlb_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per backend and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -713,6 +733,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--max-build-bytes", **build_bytes_flag)
+    p.add_argument("--dlb", **dlb_flag)
     p.add_argument("--measure", type=nonneg_int, default=0, metavar="STEPS",
                    help="also run a real DD simulation per GPU count and report wall ms/step")
     p.add_argument("--server", **server_flag)
@@ -756,6 +777,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--max-build-bytes", **build_bytes_flag)
+    p.add_argument("--dlb", **dlb_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="functional runs only: strict schedule (local forces, "
                         "halo exchange, non-local forces) with no overlap")
@@ -794,6 +816,7 @@ def main(argv: list[str] | None = None) -> None:
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("verify", parents=[common], help="functional DD-vs-serial check")
+    p.add_argument("--scenario", **scenario_flag)
     p.add_argument("--atoms", type=int, default=3000)
     p.add_argument("--ranks", type=int, default=8)
     p.add_argument("--steps", type=int, default=10)
@@ -803,6 +826,7 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--executor", **executor_flag)
     p.add_argument("--kernel", **kernel_flag)
     p.add_argument("--max-build-bytes", **build_bytes_flag)
+    p.add_argument("--dlb", **dlb_flag)
     p.add_argument("--no-overlap", action="store_true",
                    help="strict schedule (local forces, halo exchange, "
                         "non-local forces) with no comm-compute overlap")
@@ -819,6 +843,11 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--runs", type=int, default=50,
                    help="seeded fault plans per backend")
     p.add_argument("--seed", type=int, default=0, help="first plan seed")
+    p.add_argument("--scenario", **scenario_flag)
+    p.add_argument("--dlb", choices=("off", "pairs"), default="off",
+                   help="dynamic load balancing under faults; chaos only "
+                        "allows the deterministic 'pairs' mode (the "
+                        "bit-identity oracle re-runs the same decomposition)")
     p.add_argument("--atoms", type=int, default=1400)
     p.add_argument("--shape", default="1x1x4",
                    help="DD grid (default 1x1x4: two z-pulses per rank)")

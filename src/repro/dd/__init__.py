@@ -21,6 +21,7 @@ minimum of their zone shifts is zero.
 """
 
 from repro.dd.decomposition import DomainBounds, DomainDecomposition
+from repro.dd.dlb import DlbController, resize_widths
 from repro.dd.engine import DDSimulator, resolve_backend_executor
 from repro.dd.exchange import (
     ClusterState,
@@ -39,6 +40,8 @@ __all__ = [
     "ClusterState",
     "DDGrid",
     "DDSimulator",
+    "DlbController",
+    "resize_widths",
     "DomainBounds",
     "DomainDecomposition",
     "HaloExchangePlan",

@@ -1,9 +1,19 @@
 """Spatial domains and home-atom assignment.
 
-Domains are uniform slabs of the orthorhombic box (the paper's GPU-resident
-runs do not use dynamic load balancing, so the staggered-grid case never
-occurs — Sec. 2.2); each rank owns the atoms whose wrapped coordinates fall
-inside its half-open box ``[lo, hi)``.
+Domains default to uniform slabs of the orthorhombic box (the paper's
+GPU-resident runs do not use dynamic load balancing — Sec. 2.2); each rank
+owns the atoms whose wrapped coordinates fall inside its half-open box
+``[lo, hi)``.
+
+Dynamic load balancing (:mod:`repro.dd.dlb`) may install *non-uniform*
+per-dimension cell boundaries via :meth:`DomainDecomposition.set_boundaries`
+— a tensor-product grid, so one boundary plane spans the whole
+perpendicular cross-section (GROMACS' fully staggered rows are not
+modelled; see DESIGN.md §8).  Correctness is preserved by construction:
+every width must stay at or above the **cutoff floor** ``r_comm /
+npulses[d]``, which guarantees any ``npulses[d]`` consecutive cells still
+span ``r_comm``, so the fixed per-dimension pulse counts keep delivering
+every atom the eighth-shell zone rule needs.
 """
 
 from __future__ import annotations
@@ -41,12 +51,23 @@ class DomainDecomposition:
     for second-neighbour communication (paper Sec. 2.2 — "up to two pulses
     per dimension").  A pulse count must stay below the number of domains in
     its dimension (otherwise data would wrap back to its owner).
+
+    ``dlb=True`` plans each decomposed dimension for the *minimum* width
+    dynamic load balancing may shrink a cell to, exactly as GROMACS plans
+    communication for the DLB cell-size limit rather than the current cell
+    size: ``npulses[d]`` rises to the ``max_pulses`` cap so the cutoff
+    floor drops to ``r_comm / max_pulses``.  Extra pulses over still-wide
+    cells forward nothing (the selection geometry is distance-based), so
+    uniform-grid trajectories are bit-identical either way — but the plan
+    carries the extra (possibly empty) pulse stages, which is why the
+    default stays ``False`` for DLB-off runs.
     """
 
     grid: DDGrid
     box: np.ndarray
     r_comm: float
     max_pulses: int = 1
+    dlb: bool = False
 
     def __post_init__(self) -> None:
         self.box = np.asarray(self.box, dtype=np.float64)
@@ -75,26 +96,131 @@ class DomainDecomposition:
                     f"dim {d}: {need} pulses over only {self.grid.shape[d]} "
                     f"domains would wrap halo data back to its owner"
                 )
+            if self.dlb:
+                # Plan for the smallest cell DLB may create, not the
+                # current (uniform) width: every pulse count the resizer
+                # could ever need is staged from the start.
+                need = max(need, min(self.max_pulses, self.grid.shape[d] - 1))
             npulses.append(need)
         self.domain_extent = ext
         #: Pulses per dimension (0 for undecomposed dimensions).
         self.npulses = tuple(npulses)
+        #: Per-dim non-uniform cell edges (length shape[d]+1) or None for
+        #: the uniform default.  Installed only via :meth:`set_boundaries`.
+        self._boundaries: list[np.ndarray | None] = [None, None, None]
+
+    # -- non-uniform boundaries (dynamic load balancing) ----------------------
+
+    @property
+    def is_uniform(self) -> bool:
+        """True while every dimension still uses the uniform default."""
+        return all(b is None for b in self._boundaries)
+
+    def width_floor(self, d: int) -> float:
+        """Hard minimum cell width along dim ``d`` (the cutoff floor).
+
+        With ``npulses[d]`` forwarding pulses, halo coverage for arbitrary
+        widths needs any ``npulses[d]`` *consecutive* cells to span
+        ``r_comm`` — guaranteed iff every width is at least
+        ``r_comm / npulses[d]``.  Undecomposed dims have no floor.
+        """
+        n = self.npulses[d]
+        return self.r_comm / n if n else 0.0
+
+    def boundaries(self, d: int) -> np.ndarray:
+        """Current cell edges along dim ``d`` (length ``shape[d] + 1``)."""
+        if self._boundaries[d] is not None:
+            return self._boundaries[d].copy()
+        edges = np.arange(self.grid.shape[d] + 1) * self.domain_extent[d]
+        edges[-1] = self.box[d]
+        return edges
+
+    def cell_widths(self, d: int) -> np.ndarray:
+        """Current cell widths along dim ``d`` (length ``shape[d]``)."""
+        return np.diff(self.boundaries(d))
+
+    def set_boundaries(self, d: int, edges: np.ndarray) -> None:
+        """Install non-uniform cell edges along dim ``d``.
+
+        Validates the invariants the halo machinery relies on — fixed
+        endpoints, strict monotonicity, and the cutoff floor — and raises
+        :class:`ValueError` on any violation, so a buggy resizer can never
+        silently break eighth-shell coverage.  Callers (the DLB
+        controller via the engine) must follow every accepted move with a
+        full redistribution + pair-list rebuild.
+        """
+        edges = np.asarray(edges, dtype=np.float64).copy()
+        n_cells = self.grid.shape[d]
+        if n_cells == 1:
+            raise ValueError(f"dim {d} is undecomposed; boundaries are fixed")
+        if edges.shape != (n_cells + 1,):
+            raise ValueError(
+                f"dim {d} needs {n_cells + 1} edges, got shape {edges.shape}"
+            )
+        if edges[0] != 0.0 or abs(edges[-1] - self.box[d]) > 1e-9 * self.box[d]:
+            raise ValueError(
+                f"dim {d} edges must span [0, {self.box[d]}], got "
+                f"[{edges[0]}, {edges[-1]}]"
+            )
+        edges[-1] = self.box[d]
+        widths = np.diff(edges)
+        if np.any(widths <= 0):
+            raise ValueError(f"dim {d} edges must be strictly increasing: {edges}")
+        floor = self.width_floor(d)
+        # Tolerate only float round-off below the floor: anything more is
+        # a resizer bug that would break halo coverage.
+        if float(widths.min()) < floor * (1.0 - 1e-9):
+            raise ValueError(
+                f"dim {d}: min cell width {widths.min():.6f} violates the "
+                f"cutoff floor {floor:.6f} (r_comm={self.r_comm} over "
+                f"{self.npulses[d]} pulse(s))"
+            )
+        self._boundaries[d] = edges
 
     def bounds_of_rank(self, rank: int) -> DomainBounds:
-        coords = np.asarray(self.grid.coords_of_rank(rank), dtype=np.float64)
-        lo = coords * self.domain_extent
-        hi = lo + self.domain_extent
-        # Close the box edge exactly for the last domain along each dim so
-        # wrapped coordinates equal to box-epsilon are always assigned.
-        top = np.asarray(self.grid.coords_of_rank(rank)) == np.asarray(self.grid.shape) - 1
-        hi = np.where(top, self.box, hi)
+        coords_i = np.asarray(self.grid.coords_of_rank(rank))
+        if self.is_uniform:
+            coords = coords_i.astype(np.float64)
+            lo = coords * self.domain_extent
+            hi = lo + self.domain_extent
+            # Close the box edge exactly for the last domain along each dim
+            # so wrapped coordinates equal to box-epsilon are always assigned.
+            top = coords_i == np.asarray(self.grid.shape) - 1
+            hi = np.where(top, self.box, hi)
+            return DomainBounds(lo=lo, hi=hi)
+        lo = np.empty(3, dtype=np.float64)
+        hi = np.empty(3, dtype=np.float64)
+        for d in range(3):
+            edges = self._boundaries[d]
+            if edges is None:
+                lo[d] = coords_i[d] * self.domain_extent[d]
+                hi[d] = (
+                    self.box[d]
+                    if coords_i[d] == self.grid.shape[d] - 1
+                    else lo[d] + self.domain_extent[d]
+                )
+            else:
+                lo[d] = edges[coords_i[d]]
+                hi[d] = edges[coords_i[d] + 1]
         return DomainBounds(lo=lo, hi=hi)
 
     def assign_atoms(self, positions: np.ndarray) -> np.ndarray:
         """Home rank of every atom (positions are wrapped internally)."""
         wrapped = wrap_positions(np.asarray(positions, dtype=np.float64), self.box)
-        cell = np.floor(wrapped / self.domain_extent).astype(int)
-        cell = np.minimum(cell, np.asarray(self.grid.shape) - 1)
+        if self.is_uniform:
+            cell = np.floor(wrapped / self.domain_extent).astype(int)
+            cell = np.minimum(cell, np.asarray(self.grid.shape) - 1)
+        else:
+            cell = np.empty(wrapped.shape, dtype=int)
+            for d in range(3):
+                edges = self._boundaries[d]
+                if edges is None:
+                    col = np.floor(
+                        wrapped[:, d] / self.domain_extent[d]
+                    ).astype(int)
+                else:
+                    col = np.searchsorted(edges, wrapped[:, d], side="right") - 1
+                cell[:, d] = np.minimum(col, self.grid.shape[d] - 1)
         nx, ny, _nz = self.grid.shape
         return ((cell[:, 2] * ny + cell[:, 1]) * nx + cell[:, 0]).astype(np.int64)
 

@@ -160,6 +160,14 @@ class DDSimulator:
     #: bit-identical to uncapped ones (chunk boundaries never change the
     #: produced list), so this is purely a memory/perf knob.
     max_build_bytes: int | None = None
+    #: Dynamic load balancing: "off" (default; uniform cells, bit-exact
+    #: legacy behaviour), "pairs" (deterministic — per-rank pair counts
+    #: from the last neighbour search drive the resizer), or "measured"
+    #: (per-rank wall-clock phase times; what production would use, but
+    #: nondeterministic run to run).  Resizing happens only immediately
+    #: before a neighbour search, so every boundary move is followed by
+    #: full redistribution + list rebuilds by construction.
+    dlb: str = "off"
     topology: "object | None" = None
     #: Optional hook replacing :func:`repro.dd.exchange.build_cluster` at
     #: neighbour search: called as ``cluster_factory(sim)`` and must return
@@ -178,9 +186,15 @@ class DDSimulator:
                 self.n_ranks, self.system.box, r_comm, max_pulses=self.max_pulses
             )
         self.n_ranks = self.grid.n_ranks
+        if self.dlb not in ("off", "measured", "pairs"):
+            raise ValueError(
+                f"unknown dlb mode '{self.dlb}': use 'off', 'measured' "
+                f"(wall-clock per-rank timings), or 'pairs' (deterministic "
+                f"pair-count loads)"
+            )
         self.dd = DomainDecomposition(
             grid=self.grid, box=self.system.box, r_comm=r_comm,
-            max_pulses=self.max_pulses,
+            max_pulses=self.max_pulses, dlb=self.dlb != "off",
         )
         self.backend, _executor = resolve_backend_executor(self.backend, self.executor)
         self._pme_session = None
@@ -216,6 +230,12 @@ class DDSimulator:
         self._kernel.impl
         self._integrator = LeapFrogIntegrator(dt=self.dt)
         self._periodic = np.array([self.grid.shape[d] == 1 for d in range(3)])
+        if self.dlb != "off":
+            from repro.dd.dlb import DlbController
+
+            self._dlb = DlbController(self.dd)
+        else:
+            self._dlb = None
         self.executor = _executor
         self.executor.configure(
             RankConfig(
@@ -225,6 +245,7 @@ class DDSimulator:
                 periodic=self._periodic,
                 r_comm=self.dd.r_comm,
                 max_build_bytes=self.max_build_bytes,
+                dlb=self.dlb,
             ),
             self.n_ranks,
         )
@@ -232,6 +253,11 @@ class DDSimulator:
         self._pair_stats: list[dict] = []
         self._ns_positions: np.ndarray | None = None
         self.workloads: list[RankWorkload] = []
+
+    @property
+    def dlb_adjustments(self) -> int:
+        """Accepted DLB boundary moves so far (0 with DLB off)."""
+        return 0 if self._dlb is None else self._dlb.adjustments
 
     # -- spec construction ----------------------------------------------------
 
@@ -256,13 +282,13 @@ class DDSimulator:
         """
         from repro.dd.grid import DDGrid as _DDGrid
         from repro.md.forcefield import default_forcefield
-        from repro.md.grappa import make_grappa_system, resolve_atoms
+        from repro.md.inhomogeneous import make_system
 
         if ff is None:
             ff = default_forcefield(cutoff=spec.cutoff)
         if system is None:
-            system = make_grappa_system(
-                resolve_atoms(spec.system), seed=spec.seed, ff=ff, dtype=np.float64
+            system = make_system(
+                spec.system, seed=spec.seed, ff=ff, dtype=np.float64
             )
         backend_kwargs: dict = {}
         if spec.backend == "nvshmem":
@@ -291,6 +317,7 @@ class DDSimulator:
             kernel=getattr(spec, "kernel", "segment"),
             kernel_dtype=getattr(spec, "kernel_dtype", "float64"),
             max_build_bytes=getattr(spec, "max_build_bytes", None),
+            dlb=getattr(spec, "dlb", "off"),
             cluster_factory=cluster_factory,
         )
 
@@ -570,9 +597,50 @@ class DDSimulator:
 
     # -- stepping ---------------------------------------------------------------
 
+    def _dlb_loads(self) -> np.ndarray | None:
+        """Per-rank load signal for the DLB controller, or None if absent.
+
+        ``"pairs"`` mode uses the last neighbour search's per-rank pair
+        counts — a pure function of the trajectory, so identical runs
+        (and the chaos bit-identity oracle) make identical resize
+        decisions.  ``"measured"`` drains the executor's per-rank phase
+        wall times accumulated since the last search, which also sees
+        injected stragglers (chaos ``perturb_phase``) and genuine host
+        noise.
+        """
+        if self.dlb == "pairs":
+            if not self.workloads:
+                return None
+            return np.array(
+                [
+                    float(w.n_pairs_local + w.n_pairs_nonlocal)
+                    for w in self.workloads
+                ]
+            )
+        loads = self.executor.drain_rank_us()
+        if loads is None or float(loads.sum()) <= 0.0:
+            return None
+        return loads
+
+    def _dlb_update(self) -> None:
+        """One staggered DLB resize, immediately before a neighbour search.
+
+        The following ``neighbor_search()`` performs the full atom
+        redistribution, halo re-plan, and pair-list rebuild the moved
+        boundaries require, so invariants never observe a stale
+        decomposition.
+        """
+        loads = self._dlb_loads()
+        if loads is None:
+            return
+        with TRACER.span("dd.dlb", cat="dd", step=self.step_count):
+            self._dlb.update(loads)
+
     def _ensure_ns(self) -> None:
         """Run a neighbour search when the lifecycle demands one."""
         if self._needs_ns():
+            if self._dlb is not None and self.cluster is not None:
+                self._dlb_update()
             with TRACER.span("dd.ns", cat="dd", step=self.step_count):
                 self.neighbor_search()
 

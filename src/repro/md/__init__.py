@@ -12,9 +12,18 @@ from repro.md.cells import CellList
 from repro.md.forcefield import ForceField, default_forcefield
 from repro.md.grappa import (
     GRAPPA_SIZES,
+    SCENARIOS,
     grappa_label,
     make_grappa_system,
     resolve_atoms,
+    resolve_scenario,
+)
+from repro.md.inhomogeneous import (
+    density_profile,
+    make_droplet_system,
+    make_slab_system,
+    make_system,
+    make_vacuum_gap_system,
 )
 from repro.md.integrator import LeapFrogIntegrator, kinetic_energy, remove_com_motion
 from repro.md.nonbonded import NonbondedKernel, PairBlock, block_forces, pair_forces
@@ -46,4 +55,11 @@ __all__ = [
     "Topology",
     "make_molecular_grappa_system",
     "resolve_atoms",
+    "SCENARIOS",
+    "resolve_scenario",
+    "density_profile",
+    "make_droplet_system",
+    "make_slab_system",
+    "make_system",
+    "make_vacuum_gap_system",
 ]

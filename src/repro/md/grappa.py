@@ -42,9 +42,32 @@ GRAPPA_DENSITY = 100.0
 #: Fraction of 3-atom groups that are "ethanol-like" (apolar CE sites).
 ETHANOL_GROUP_FRACTION = 0.125
 
+#: Density-scenario prefixes a system label may carry ("slab-45k").
+#: "uniform" is the homogeneous grappa recipe and needs no prefix;
+#: the others live in :mod:`repro.md.inhomogeneous`.
+SCENARIOS = ("uniform", "slab", "droplet", "gap")
+
+
+def resolve_scenario(system: str | int) -> str:
+    """Density-scenario kind of a system label (``"slab-45k"`` -> ``"slab"``)."""
+    if isinstance(system, str):
+        for s in SCENARIOS:
+            if system.startswith(s + "-"):
+                return s
+    return "uniform"
+
+
+def strip_scenario(system: str) -> str:
+    """A system label without its scenario prefix (``"slab-45k"`` -> ``"45k"``)."""
+    for s in SCENARIOS:
+        if system.startswith(s + "-"):
+            return system[len(s) + 1:]
+    return system
+
 
 def resolve_atoms(system: str | int) -> int:
-    """Atom count for a system label: ``45000``, ``"45k"``, or ``"grappa-45k"``.
+    """Atom count for a system label: ``45000``, ``"45k"``, ``"grappa-45k"``,
+    or a scenario-prefixed label (``"slab-45k"``, ``"droplet-90k"``).
 
     The one canonical resolver for every CLI, spec, and benchmark entry
     point; raises :class:`ValueError` with the full label set so callers
@@ -54,7 +77,8 @@ def resolve_atoms(system: str | int) -> int:
         if system <= 0:
             raise ValueError(f"atom count must be positive, got {system}")
         return system
-    label = system[len("grappa-"):] if system.startswith("grappa-") else system
+    label = strip_scenario(system)
+    label = label[len("grappa-"):] if label.startswith("grappa-") else label
     if label in GRAPPA_SIZES:
         return GRAPPA_SIZES[label]
     try:
@@ -71,7 +95,8 @@ def resolve_atoms(system: str | int) -> int:
         raise ValueError(
             f"unknown system '{system}': use an atom count, a 'k'/'M'-"
             f"suffixed count (e.g. '192k'), or one of "
-            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-')"
+            f"{', '.join(GRAPPA_SIZES)} (optionally prefixed 'grappa-' or a "
+            f"density scenario: {', '.join(s + '-' for s in SCENARIOS[1:])})"
         ) from None
     if n <= 0:
         raise ValueError(f"atom count must be positive, got {n}")
@@ -93,6 +118,72 @@ def grappa_box_length(n_atoms: int, density: float = GRAPPA_DENSITY) -> float:
     if n_atoms <= 0:
         raise ValueError(f"n_atoms must be positive, got {n_atoms}")
     return float((n_atoms / density) ** (1.0 / 3.0))
+
+
+def grappa_triplet_types(rng, n_atoms: int) -> np.ndarray:
+    """Neutral triplet typing: OW HW HW (water) or CE CE CE (ethanol-ish).
+
+    Consumes exactly one ``rng.random(n_groups)`` draw, so callers that
+    compose it with placement draws keep a stable RNG call sequence.
+    """
+    n_groups = n_atoms // 3
+    group_types = np.where(
+        rng.random(n_groups) < ETHANOL_GROUP_FRACTION,
+        2,  # CE group
+        0,  # water group
+    )
+    type_ids = np.empty(n_atoms, dtype=np.int32)
+    water_pattern = np.array([0, 1, 1], dtype=np.int32)  # OW HW HW
+    ce_pattern = np.array([2, 2, 2], dtype=np.int32)
+    full = np.where(
+        np.repeat(group_types, 3)[:, None] == 2, ce_pattern[None, :], water_pattern[None, :]
+    )
+    # full has shape (3*n_groups, 3) from broadcasting; take the
+    # per-position pattern entry instead.
+    pattern_pos = np.tile(np.arange(3), n_groups)
+    type_ids[: 3 * n_groups] = full[np.arange(3 * n_groups), pattern_pos]
+    # Leftover atoms (n_atoms not divisible by 3) become neutral CE sites.
+    type_ids[3 * n_groups:] = 2
+    return type_ids
+
+
+def maxwell_boltzmann_velocities(
+    rng, masses: np.ndarray, temperature: float
+) -> np.ndarray:
+    """Per-atom velocities at ``temperature`` (one ``rng.normal`` draw)."""
+    sigma_v = np.sqrt(BOLTZ * temperature / masses)[:, None]
+    return rng.normal(0.0, 1.0, size=(masses.size, 3)) * sigma_v
+
+
+def finish_grappa_system(
+    rng,
+    positions: np.ndarray,
+    box: np.ndarray,
+    ff: ForceField,
+    temperature: float,
+    dtype: np.dtype | type,
+) -> MDSystem:
+    """Type, charge, and thermalize placed positions into an MDSystem.
+
+    The shared back half of every grappa-style generator (homogeneous and
+    the :mod:`repro.md.inhomogeneous` scenarios): neutral triplet types,
+    force-field charges/masses, Maxwell-Boltzmann velocities.
+    """
+    n_atoms = positions.shape[0]
+    type_ids = grappa_triplet_types(rng, n_atoms)
+    charges = ff.charges_for(type_ids)
+    masses = ff.masses_for(type_ids)
+    # Charge neutrality by construction; assert to catch pattern bugs.
+    assert abs(float(np.sum(charges))) < 1e-9 * n_atoms
+    velocities = maxwell_boltzmann_velocities(rng, masses, temperature)
+    return MDSystem(
+        box=np.asarray(box, dtype=np.float64),
+        positions=positions.astype(dtype),
+        velocities=velocities.astype(dtype),
+        type_ids=type_ids,
+        charges=charges,
+        masses=masses,
+    )
 
 
 def make_grappa_system(
@@ -131,40 +222,4 @@ def make_grappa_system(
     positions += rng.uniform(-0.1 * spacing, 0.1 * spacing, size=positions.shape)
     positions = np.mod(positions, box_len)
 
-    # Neutral triplets: OW HW HW (water) or CE CE CE (ethanol-ish).
-    n_groups = n_atoms // 3
-    group_types = np.where(
-        rng.random(n_groups) < ETHANOL_GROUP_FRACTION,
-        2,  # CE group
-        0,  # water group
-    )
-    type_ids = np.empty(n_atoms, dtype=np.int32)
-    water_pattern = np.array([0, 1, 1], dtype=np.int32)  # OW HW HW
-    ce_pattern = np.array([2, 2, 2], dtype=np.int32)
-    full = np.where(
-        np.repeat(group_types, 3)[:, None] == 2, ce_pattern[None, :], water_pattern[None, :]
-    )
-    # full currently has shape (3*n_groups, 3) from broadcasting; take the
-    # per-position pattern entry instead.
-    pattern_pos = np.tile(np.arange(3), n_groups)
-    type_ids[: 3 * n_groups] = full[np.arange(3 * n_groups), pattern_pos]
-    # Leftover atoms (n_atoms not divisible by 3) become neutral CE sites.
-    type_ids[3 * n_groups :] = 2
-
-    charges = ff.charges_for(type_ids)
-    masses = ff.masses_for(type_ids)
-    # Charge neutrality by construction; assert to catch pattern bugs.
-    assert abs(float(np.sum(charges))) < 1e-9 * n_atoms
-
-    sigma_v = np.sqrt(BOLTZ * temperature / masses)[:, None]
-    velocities = rng.normal(0.0, 1.0, size=(n_atoms, 3)) * sigma_v
-
-    system = MDSystem(
-        box=box,
-        positions=positions.astype(dtype),
-        velocities=velocities.astype(dtype),
-        type_ids=type_ids,
-        charges=charges,
-        masses=masses,
-    )
-    return system
+    return finish_grappa_system(rng, positions, box, ff, temperature, dtype)

@@ -1,0 +1,295 @@
+"""Inhomogeneous synthetic systems: slab, droplet, and vacuum-gap.
+
+The grappa systems are homogeneous particle soup — exactly the case where
+DD load balancing never matters, because every equal-volume domain holds
+the same work.  Real production systems are not like that: membranes are
+dense slabs under vacuum/solvent, aerosols are droplets, interfaces have
+genuine vacuum gaps.  These generators build grappa-*chemistry* systems
+(same neutral triplet composition, same force field, Maxwell-Boltzmann
+velocities) with strongly non-uniform density along the box, so a uniform
+decomposition produces the per-rank load imbalance the dynamic load
+balancer (:mod:`repro.dd.dlb`) exists to fix.
+
+Labels compose a scenario prefix with any grappa size label:
+``"slab-45k"``, ``"droplet-1400"``, ``"gap-90k"`` — see
+:func:`repro.md.grappa.resolve_scenario` / ``resolve_atoms``.  All dense
+regions are placed at the grappa liquid density on a jittered lattice
+(the same overlap-free recipe as :func:`make_grappa_system`), so kernel
+work per dense atom matches the homogeneous baseline.
+
+The slab and gap scenarios put the density contrast along **z** — the
+first-decomposed dimension (``PHASE_DIMS`` order) — so any z-decomposed
+grid sees the imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.forcefield import ForceField, default_forcefield
+from repro.md.grappa import (
+    GRAPPA_DENSITY,
+    finish_grappa_system,
+    make_grappa_system,
+    resolve_atoms,
+    resolve_scenario,
+)
+from repro.md.system import MDSystem, wrap_positions
+from repro.util.rng import make_rng
+
+#: Fraction of the z extent the dense slab occupies (scenario "slab").
+SLAB_FRACTION = 0.4
+
+#: Fraction of the z extent left truly empty in the middle (scenario "gap").
+GAP_FRACTION = 0.35
+
+#: Droplet diameter as a fraction of the box edge (scenario "droplet").
+DROPLET_DIAMETER_FRACTION = 0.55
+
+#: Fraction of atoms scattered as low-density vapor outside the dense
+#: region (slab and droplet; the gap scenario is a hard vacuum).
+VAPOR_FRACTION = 0.04
+
+
+def _decode_sites(site_ids: np.ndarray, n_side: np.ndarray) -> np.ndarray:
+    """Integer lattice coordinates of flat site ids on an n_side grid."""
+    coords = np.empty((site_ids.size, 3), dtype=np.float64)
+    coords[:, 0] = site_ids // (n_side[1] * n_side[2])
+    coords[:, 1] = (site_ids // n_side[2]) % n_side[1]
+    coords[:, 2] = site_ids % n_side[2]
+    return coords
+
+
+def _lattice_fill(rng, n: int, lo, hi) -> np.ndarray:
+    """``n`` jitter-displaced lattice sites inside the box ``[lo, hi)``.
+
+    The same overlap-free placement as the grappa recipe, generalized to
+    a sub-box: distinct sites of the smallest lattice that holds them,
+    displaced by up to 10% of the spacing, so the minimum separation
+    stays at 0.8x the local spacing.
+    """
+    if n == 0:
+        return np.zeros((0, 3), dtype=np.float64)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    ext = hi - lo
+    if np.any(ext <= 0):
+        raise ValueError(f"degenerate fill region: lo={lo}, hi={hi}")
+    target = float((np.prod(ext) / n) ** (1.0 / 3.0))
+    n_side = np.maximum(1, np.ceil(ext / target)).astype(np.int64)
+    while int(np.prod(n_side)) < n:
+        n_side[int(np.argmax(ext / n_side))] += 1
+    site_ids = rng.choice(int(np.prod(n_side)), size=n, replace=False)
+    spacing = ext / n_side
+    positions = lo + (_decode_sites(site_ids, n_side) + 0.5) * spacing
+    positions += rng.uniform(-0.1, 0.1, size=positions.shape) * spacing
+    return positions
+
+
+def _lattice_fill_sphere(rng, n: int, center, radius: float) -> np.ndarray:
+    """``n`` jittered lattice sites inside a sphere (overlap-free)."""
+    if n == 0:
+        return np.zeros((0, 3), dtype=np.float64)
+    center = np.asarray(center, dtype=np.float64)
+    vol = 4.0 / 3.0 * np.pi * radius**3
+    spacing0 = float((vol / n) ** (1.0 / 3.0))
+    # Shrink the lattice until enough sites fit strictly inside the
+    # sphere (jitter included); the first factor almost always suffices.
+    for shrink in (0.95, 0.85, 0.75, 0.6, 0.45):
+        spacing = spacing0 * shrink
+        n_side = int(np.ceil(2.0 * radius / spacing))
+        ids = np.arange(n_side**3, dtype=np.int64)
+        coords = _decode_sites(ids, np.full(3, n_side, dtype=np.int64))
+        pos = (coords + 0.5) * spacing - radius
+        inside = np.einsum("ij,ij->i", pos, pos) <= (radius - 0.2 * spacing) ** 2
+        if int(inside.sum()) >= n:
+            ids = ids[inside]
+            pick = rng.choice(ids.size, size=n, replace=False)
+            chosen = pos[inside][pick]
+            chosen += rng.uniform(-0.1, 0.1, size=chosen.shape) * spacing
+            return center + chosen
+    raise ValueError(f"cannot fit {n} lattice sites in a radius-{radius} sphere")
+
+
+def make_slab_system(
+    n_atoms: int,
+    seed: int = 2025,
+    temperature: float = 300.0,
+    ff: ForceField | None = None,
+    density: float = GRAPPA_DENSITY,
+    slab_fraction: float = SLAB_FRACTION,
+    vapor_fraction: float = VAPOR_FRACTION,
+    dtype: np.dtype | type = np.float32,
+) -> MDSystem:
+    """A dense liquid slab (membrane-like) centered along z, vapor elsewhere.
+
+    The slab spans ``slab_fraction`` of the z extent at the grappa liquid
+    density; the remaining ``vapor_fraction`` of atoms scatter through
+    the surrounding low-density region.  z-extreme domains of a uniform
+    decomposition therefore hold ~an order of magnitude fewer atoms than
+    central ones.
+    """
+    if n_atoms < 30:
+        raise ValueError(f"slab systems need at least 30 atoms, got {n_atoms}")
+    if not 0.05 <= slab_fraction <= 0.9:
+        raise ValueError(f"slab_fraction must be in [0.05, 0.9], got {slab_fraction}")
+    ff = ff or default_forcefield()
+    rng = make_rng(seed)
+    n_vapor = int(round(n_atoms * vapor_fraction))
+    n_dense = n_atoms - n_vapor
+    box_len = float((n_dense / (density * slab_fraction)) ** (1.0 / 3.0))
+    box = np.full(3, box_len)
+    z0 = 0.5 * (1.0 - slab_fraction) * box_len
+    z1 = 0.5 * (1.0 + slab_fraction) * box_len
+    dense = _lattice_fill(rng, n_dense, (0.0, 0.0, z0), (box_len, box_len, z1))
+    n_below = n_vapor // 2
+    below = _lattice_fill(rng, n_below, (0.0, 0.0, 0.0), (box_len, box_len, z0))
+    above = _lattice_fill(
+        rng, n_vapor - n_below, (0.0, 0.0, z1), (box_len, box_len, box_len)
+    )
+    positions = np.mod(np.concatenate([dense, below, above]), box_len)
+    return finish_grappa_system(rng, positions, box, ff, temperature, dtype)
+
+
+def make_droplet_system(
+    n_atoms: int,
+    seed: int = 2025,
+    temperature: float = 300.0,
+    ff: ForceField | None = None,
+    density: float = GRAPPA_DENSITY,
+    diameter_fraction: float = DROPLET_DIAMETER_FRACTION,
+    vapor_fraction: float = VAPOR_FRACTION,
+    dtype: np.dtype | type = np.float32,
+) -> MDSystem:
+    """A liquid droplet centered in a mostly-empty box.
+
+    The droplet holds ``1 - vapor_fraction`` of the atoms at the grappa
+    liquid density; its diameter is ``diameter_fraction`` of the box
+    edge, so corner domains of any uniform decomposition are nearly
+    empty while central ones are full.
+    """
+    if n_atoms < 30:
+        raise ValueError(f"droplet systems need at least 30 atoms, got {n_atoms}")
+    if not 0.1 <= diameter_fraction <= 0.95:
+        raise ValueError(
+            f"diameter_fraction must be in [0.1, 0.95], got {diameter_fraction}"
+        )
+    ff = ff or default_forcefield()
+    rng = make_rng(seed)
+    n_vapor = int(round(n_atoms * vapor_fraction))
+    n_dense = n_atoms - n_vapor
+    radius = float((3.0 * n_dense / (4.0 * np.pi * density)) ** (1.0 / 3.0))
+    box_len = 2.0 * radius / diameter_fraction
+    box = np.full(3, box_len)
+    center = np.full(3, 0.5 * box_len)
+    dense = _lattice_fill_sphere(rng, n_dense, center, radius)
+    # Vapor on a sparse whole-box lattice; candidate sites inside the
+    # droplet (where they'd overlap dense atoms) are excluded *before*
+    # the draw so the atom count is exact.
+    vapor = np.zeros((0, 3), dtype=np.float64)
+    if n_vapor:
+        target = float((box_len**3 / n_vapor) ** (1.0 / 3.0))
+        n_side = np.full(3, max(1, int(np.ceil(box_len / target))), dtype=np.int64)
+        while True:
+            spacing = box_len / n_side
+            ids = np.arange(int(np.prod(n_side)), dtype=np.int64)
+            sites = (_decode_sites(ids, n_side) + 0.5) * spacing
+            d2 = np.einsum("ij,ij->i", sites - center, sites - center)
+            sites = sites[d2 > (1.1 * radius) ** 2]
+            if sites.shape[0] >= n_vapor:
+                break
+            n_side += 1
+        pick = rng.choice(sites.shape[0], size=n_vapor, replace=False)
+        vapor = sites[pick] + rng.uniform(-0.1, 0.1, size=(n_vapor, 3)) * spacing
+    positions = np.mod(np.concatenate([dense, vapor]), box_len)
+    return finish_grappa_system(rng, positions, box, ff, temperature, dtype)
+
+
+def make_vacuum_gap_system(
+    n_atoms: int,
+    seed: int = 2025,
+    temperature: float = 300.0,
+    ff: ForceField | None = None,
+    density: float = GRAPPA_DENSITY,
+    gap_fraction: float = GAP_FRACTION,
+    dtype: np.dtype | type = np.float32,
+) -> MDSystem:
+    """Two liquid slabs separated by a hard vacuum gap along z.
+
+    Unlike the slab scenario there is *no* vapor at all: domains covering
+    the gap hold exactly zero atoms, the degenerate case a load balancer
+    (and its cutoff floor) must survive.
+    """
+    if n_atoms < 30:
+        raise ValueError(f"gap systems need at least 30 atoms, got {n_atoms}")
+    if not 0.05 <= gap_fraction <= 0.8:
+        raise ValueError(f"gap_fraction must be in [0.05, 0.8], got {gap_fraction}")
+    ff = ff or default_forcefield()
+    rng = make_rng(seed)
+    box_len = float((n_atoms / (density * (1.0 - gap_fraction))) ** (1.0 / 3.0))
+    box = np.full(3, box_len)
+    # The gap is centered: dense z-ranges [0, z0) and [z1, L).
+    z0 = 0.5 * (1.0 - gap_fraction) * box_len
+    z1 = 0.5 * (1.0 + gap_fraction) * box_len
+    n_lower = n_atoms // 2
+    lower = _lattice_fill(rng, n_lower, (0.0, 0.0, 0.0), (box_len, box_len, z0))
+    upper = _lattice_fill(
+        rng, n_atoms - n_lower, (0.0, 0.0, z1), (box_len, box_len, box_len)
+    )
+    positions = np.mod(np.concatenate([lower, upper]), box_len)
+    return finish_grappa_system(rng, positions, box, ff, temperature, dtype)
+
+
+#: Scenario kind -> generator for the non-uniform cases.
+_GENERATORS = {
+    "slab": make_slab_system,
+    "droplet": make_droplet_system,
+    "gap": make_vacuum_gap_system,
+}
+
+
+def make_system(
+    system: str | int,
+    seed: int = 2025,
+    temperature: float = 300.0,
+    ff: ForceField | None = None,
+    dtype: np.dtype | type = np.float32,
+) -> MDSystem:
+    """Build any labelled system, homogeneous or scenario-prefixed.
+
+    The one construction entry point for specs, benches, and CLIs:
+    ``"45k"``/``"grappa-45k"``/plain counts build the homogeneous grappa
+    recipe (bit-identical to :func:`make_grappa_system`); ``"slab-45k"``,
+    ``"droplet-45k"``, ``"gap-45k"`` build the matching inhomogeneous
+    scenario.
+    """
+    scenario = resolve_scenario(system)
+    n_atoms = resolve_atoms(system)
+    if scenario == "uniform":
+        return make_grappa_system(
+            n_atoms, seed=seed, temperature=temperature, ff=ff, dtype=dtype
+        )
+    return _GENERATORS[scenario](
+        n_atoms, seed=seed, temperature=temperature, ff=ff, dtype=dtype
+    )
+
+
+def density_profile(
+    system: MDSystem, axis: int = 2, bins: int = 24
+) -> tuple[np.ndarray, np.ndarray]:
+    """Number-density profile along a box axis.
+
+    Returns ``(edges, density)`` with ``density[i]`` in atoms/nm^3 for
+    the bin ``[edges[i], edges[i+1])`` — what the generator tests assert
+    dense/sparse contrast on, and a handy debugging probe.
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+    length = float(system.box[axis])
+    coords = wrap_positions(
+        np.asarray(system.positions, dtype=np.float64), system.box
+    )[:, axis]
+    counts, edges = np.histogram(coords, bins=bins, range=(0.0, length))
+    perp = float(np.prod(np.delete(system.box, axis)))
+    bin_vol = perp * (length / bins)
+    return edges, counts / bin_vol

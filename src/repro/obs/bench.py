@@ -79,6 +79,12 @@ class BenchRecord:
     #: against uncapped numbers.  Old records load as None (uncapped),
     #: which is what they measured.
     max_build_bytes: int | None = None
+    #: Dynamic load-balancing mode ("off", "pairs", "measured").  Part of
+    #: the baseline identity: DLB trades resize/rebuild work for lower
+    #: imbalance, so balanced and uniform runs regress independently, and
+    #: the report's imbalance section can label which records had DLB on.
+    #: Old records (pre-DLB schema) load as "off", which is what they ran.
+    dlb: str = "off"
     #: Host constants the number was measured on (cpu_count, platform, python).
     machine: dict = field(default_factory=dict)
     #: ``forces_local``/``forces_nonlocal``/halo/overlap split (optional).
@@ -99,7 +105,7 @@ class BenchRecord:
         """The identity the rolling baseline groups by."""
         return (self.system, self.ranks, self.backend, self.executor,
                 self.overlap_comm, self.kernel, self.kernel_dtype,
-                self.max_build_bytes)
+                self.max_build_bytes, self.dlb)
 
     def key_label(self) -> str:
         ov = "overlap" if self.overlap_comm else "no-overlap"
@@ -109,6 +115,8 @@ class BenchRecord:
             label += f"/{self.kernel_dtype}"
         if self.max_build_bytes is not None:
             label += f"/cap{self.max_build_bytes // (1 << 20)}M"
+        if self.dlb != "off":
+            label += f"/dlb-{self.dlb}"
         return label
 
     def to_dict(self) -> dict:

@@ -277,22 +277,28 @@ def render_markdown(data: dict) -> str:
     imb_rows = []
     for t in data["bench_trends"]:
         imb = t["latest"].get("imbalance") or {}
+        # Records carry their DLB mode since the dlb schema extension;
+        # older records ran with uniform cells, i.e. "off".
+        dlb = t["latest"].get("dlb") or "off"
+        dlb_label = "off" if dlb == "off" else f"**{dlb}**"
         for exe, phases in imb.items():
             for phase, s in sorted(phases.items()):
                 imb_rows.append(
-                    [t["key"], exe, phase, _fmt(s["mean_us"], 1),
+                    [t["key"], exe, dlb_label, phase, _fmt(s["mean_us"], 1),
                      _fmt(s["max_us"], 1), f"{s['imbalance_pct']:.1f}%"]
                 )
     if imb_rows:
         out.append(
             "GROMACS-style imbalance, `100 * (max/mean - 1)` over the "
             "`par.rank_us` histograms (run-averaged; `overall` bounds the "
-            "step-level waste)."
+            "step-level waste).  The `dlb` column marks records measured "
+            "with dynamic load balancing resizing the DD cells."
         )
         out.append("")
         out.append(
             _md_table(
-                ["config", "executor", "phase", "mean µs", "max µs", "imbalance"],
+                ["config", "executor", "dlb", "phase", "mean µs", "max µs",
+                 "imbalance"],
                 imb_rows,
             )
         )

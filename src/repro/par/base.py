@@ -78,6 +78,30 @@ class RankExecutor(ABC):
             raise ValueError("n_ranks must be positive")
         self._cfg = cfg
         self.n_ranks = n_ranks
+        self._rank_us_acc = np.zeros(n_ranks, dtype=np.float64)
+
+    # -- per-rank load accounting ---------------------------------------------
+
+    def _note_rank_us(self, rank: int, us: float) -> None:
+        """Accumulate one rank's phase wall time (called at observe sites).
+
+        The ``par.rank_us`` histogram aggregates away rank identity;
+        this keeps the per-rank totals the dynamic load balancer needs.
+        Concurrent executors call it from worker threads, but always for
+        distinct ranks within a phase, so element-wise accumulation is
+        race-free.
+        """
+        self._rank_us_acc[rank] += us
+
+    def drain_rank_us(self) -> np.ndarray:
+        """Per-rank accumulated phase wall time (µs) since the last drain.
+
+        Returns a copy and resets the accumulator — the engine drains
+        once per neighbour-search interval to feed ``dlb="measured"``.
+        """
+        out = self._rank_us_acc.copy()
+        self._rank_us_acc[:] = 0.0
+        return out
 
     @abstractmethod
     def bind(

@@ -384,12 +384,14 @@ class ProcessExecutor(RankExecutor):
 
     def _collect(self, phase: str, token: Any) -> list[Any]:
         results: list[Any] = [None] * self.n_ranks
-        hist = METRICS.histogram("par.rank_us", executor=self.name, phase=phase)
         for w in range(len(self._conns)):
             payload = self._reply(w)
             for rank, result, dur_us, _t_end in payload["results"]:
                 results[rank] = result
-                hist.observe(dur_us)
+                METRICS.histogram(
+                    "par.rank_us", executor=self.name, phase=phase, rank=str(rank)
+                ).observe(dur_us)
+                self._note_rank_us(rank, dur_us)
             self._absorb_fallbacks(w, payload["fb"])
         return results
 
@@ -450,12 +452,6 @@ class ProcessExecutor(RankExecutor):
 
         local_results: list[Any] = [None] * self.n_ranks
         nonlocal_results: list[Any] = [None] * self.n_ranks
-        hist_local = METRICS.histogram(
-            "par.rank_us", executor=self.name, phase="forces_local"
-        )
-        hist_nl = METRICS.histogram(
-            "par.rank_us", executor=self.name, phase="forces_nonlocal"
-        )
         last_local_end = 0.0
         with TRACER.span(
             "executor.barrier", cat="executor", executor=self.name, phase="forces_local"
@@ -464,7 +460,11 @@ class ProcessExecutor(RankExecutor):
                 payload = self._reply(w)  # FIFO: first reply is the local batch
                 for rank, result, dur_us, t_end in payload["results"]:
                     local_results[rank] = result
-                    hist_local.observe(dur_us)
+                    METRICS.histogram(
+                        "par.rank_us", executor=self.name,
+                        phase="forces_local", rank=str(rank),
+                    ).observe(dur_us)
+                    self._note_rank_us(rank, dur_us)
                     last_local_end = max(last_local_end, t_end)
                 self._absorb_fallbacks(w, payload["fb"])
         with TRACER.span(
@@ -478,7 +478,11 @@ class ProcessExecutor(RankExecutor):
                     payload = self._reply(w)
                     for rank, result, dur_us, _t_end in payload["results"]:
                         nonlocal_results[rank] = result
-                        hist_nl.observe(dur_us)
+                        METRICS.histogram(
+                            "par.rank_us", executor=self.name,
+                            phase="forces_nonlocal", rank=str(rank),
+                        ).observe(dur_us)
+                        self._note_rank_us(rank, dur_us)
                     self._absorb_fallbacks(w, payload["fb"])
         hidden = max(0.0, min(last_local_end, t1) - t0)
         self._observe_overlap(t1 - t0, hidden)

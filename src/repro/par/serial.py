@@ -39,10 +39,13 @@ class SerialExecutor(RankExecutor):
 
     def _collect(self, phase: str, token: Any) -> list[Any]:
         fn = PHASES[phase]
-        hist = METRICS.histogram("par.rank_us", executor=self.name, phase=phase)
         out = []
-        for ws in self._ws:
+        for rank, ws in enumerate(self._ws):
             t0 = time.perf_counter_ns()
             out.append(fn(ws))
-            hist.observe((time.perf_counter_ns() - t0) / 1000.0)
+            dur_us = (time.perf_counter_ns() - t0) / 1000.0
+            METRICS.histogram(
+                "par.rank_us", executor=self.name, phase=phase, rank=str(rank)
+            ).observe(dur_us)
+            self._note_rank_us(rank, dur_us)
         return out

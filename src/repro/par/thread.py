@@ -65,9 +65,11 @@ class ThreadExecutor(RankExecutor):
             if par_base.phase_chaos is not None:
                 par_base.phase_chaos(phase, rank)
             result = fn(self._ws[rank])
-            METRICS.histogram("par.rank_us", executor=self.name, phase=phase).observe(
-                (time.perf_counter_ns() - t0) / 1000.0
-            )
+            dur_us = (time.perf_counter_ns() - t0) / 1000.0
+            METRICS.histogram(
+                "par.rank_us", executor=self.name, phase=phase, rank=str(rank)
+            ).observe(dur_us)
+            self._note_rank_us(rank, dur_us)
         return result
 
     def _dispatch(self, phase: str) -> list[Future]:

@@ -84,12 +84,12 @@ class ArtifactCache:
         """A private copy of the seeded system for this spec's system key."""
         import numpy as np
 
-        from repro.md.grappa import make_grappa_system
+        from repro.md.inhomogeneous import make_system
 
         template = self.get_or_build(
             ("system", spec.system_key()),
-            lambda: make_grappa_system(
-                spec.n_atoms, seed=spec.seed, ff=ff, dtype=np.float64
+            lambda: make_system(
+                spec.system, seed=spec.seed, ff=ff, dtype=np.float64
             ),
         )
         return template.copy()
@@ -145,6 +145,10 @@ class ArtifactCache:
                 sim.trim_corners,
                 getattr(spec, "kernel", "segment"),
                 getattr(spec, "kernel_dtype", "float64"),
+                # DLB-planned decompositions stage extra pulses from step 0
+                # (npulses rises to the max_pulses cap), so their plans are
+                # not interchangeable with uniform-grid ones.
+                getattr(spec, "dlb", "off") != "off",
             )
             snapshot = self.get_or_build(
                 key, lambda: _snapshot_cluster(sim)

@@ -156,6 +156,8 @@ def _run_chaos(spec: SimulationSpec, cancel) -> dict:
     from repro.chaos.campaign import ChaosConfig, run_case
     from repro.chaos.plan import FaultPlan
 
+    from repro.md.grappa import resolve_scenario
+
     cfg = ChaosConfig(
         backend=spec.backend,
         atoms=spec.n_atoms,
@@ -168,6 +170,10 @@ def _run_chaos(spec: SimulationSpec, cancel) -> dict:
         pes_per_node=spec.pes_per_node or 2,
         executor=spec.executor,
         n_faults=spec.n_faults,
+        kernel=spec.kernel,
+        max_build_bytes=spec.max_build_bytes,
+        scenario=resolve_scenario(spec.system),
+        dlb=spec.dlb,
     )
     plan = spec.fault_plan or FaultPlan.generate(
         spec.seed,

@@ -75,6 +75,10 @@ class SimulationSpec:
     #: default chunking).  Purely a memory/perf knob: capped builds are
     #: bit-identical to uncapped ones.
     max_build_bytes: int | None = None
+    #: Dynamic load balancing mode: "off" (uniform cells), "pairs"
+    #: (deterministic pair-count-driven resizing), or "measured"
+    #: (wall-clock-driven resizing; nondeterministic run to run).
+    dlb: str = "off"
     # -- determinism ----------------------------------------------------------
     seed: int = 7
     # -- chaos ----------------------------------------------------------------
@@ -118,6 +122,10 @@ class SimulationSpec:
                 f"max_build_bytes must be >= 4096 bytes or None, "
                 f"got {self.max_build_bytes}"
             )
+        if self.dlb not in ("off", "measured", "pairs"):
+            raise ValueError(
+                f"unknown dlb mode '{self.dlb}': use 'off', 'measured', or 'pairs'"
+            )
 
     # -- derived --------------------------------------------------------------
 
@@ -137,12 +145,19 @@ class SimulationSpec:
     def system_key(self) -> str:
         """Cache key of the *initial physical state* this spec implies.
 
-        Two specs with equal keys build bit-identical systems (same atoms,
-        same RNG seed, same force-field cutoff), so derived artifacts —
-        the system template, the chosen DD grid, the step-0 cluster with
-        its halo ``PulseData`` — are shareable across their jobs.
+        Two specs with equal keys build bit-identical systems (same
+        density scenario, same atoms, same RNG seed, same force-field
+        cutoff), so derived artifacts — the system template, the chosen
+        DD grid, the step-0 cluster with its halo ``PulseData`` — are
+        shareable across their jobs.  Homogeneous systems keep the
+        historical ``grappa:`` prefix; scenario systems key under their
+        scenario kind so a slab job never replays a uniform snapshot.
         """
-        return f"grappa:{self.n_atoms}:seed={self.seed}:cutoff={self.cutoff:g}"
+        from repro.md.grappa import resolve_scenario
+
+        scenario = resolve_scenario(self.system)
+        prefix = "grappa" if scenario == "uniform" else scenario
+        return f"{prefix}:{self.n_atoms}:seed={self.seed}:cutoff={self.cutoff:g}"
 
     def job_key(self) -> str:
         """Content hash of the full spec (job dedupe / artifact naming)."""

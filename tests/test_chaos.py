@@ -247,6 +247,38 @@ class TestCampaign:
         assert not res.failed
 
 
+class TestDlbCampaign:
+    """The protocol invariants (exactly-once halo partition, depOffset
+    ordering, bit identity against the reference backend) must survive
+    DLB boundary moves: a slab system under ``dlb="pairs"`` resizes its
+    decomposition mid-campaign, forcing re-planned pulses."""
+
+    CFG = dict(scenario="slab", dlb="pairs", steps=7)
+
+    def test_config_actually_resizes(self):
+        """Guard against vacuity: this campaign config must move
+        boundaries within the campaign's step budget."""
+        from repro.dd import DDSimulator
+
+        cfg = ChaosConfig(**self.CFG)
+        sim = DDSimulator.from_spec(cfg.to_spec())
+        sim.run(cfg.steps)
+        assert sim.dlb_adjustments >= 1
+        assert not sim.dd.is_uniform
+
+    @pytest.mark.parametrize("backend", ["reference", "mpi", "threadmpi", "nvshmem"])
+    def test_seeded_slab_campaign(self, backend):
+        res = run_campaign(ChaosConfig(backend=backend, **self.CFG), runs=3)
+        assert res.runs == 3
+        assert not res.failed, [f.violations for f in res.failures]
+
+    def test_measured_mode_rejected(self):
+        """Wall-clock DLB would steer the run and its bit-identity oracle
+        into different decompositions; the config must refuse it."""
+        with pytest.raises(ValueError, match="measured"):
+            ChaosConfig(dlb="measured").to_spec()
+
+
 class TestMutationSelfTest:
     """The harness must catch a deliberately weakened protocol."""
 

@@ -1,0 +1,383 @@
+"""Dynamic load balancing invariants.
+
+Three layers, matching the DLB design (DESIGN.md §8):
+
+* :func:`repro.dd.dlb.resize_widths` — property-tested on random load
+  histories: total extent and the cutoff floor hold for *any* input, and
+  the relaxation converges on stationary loads.
+* :class:`repro.dd.decomposition.DomainDecomposition` — non-uniform
+  boundary installation rejects every invariant violation, and atom
+  assignment stays an exact partition for arbitrary accepted edges.
+* :class:`repro.dd.engine.DDSimulator` with ``dlb="pairs"`` — resize +
+  redistribution preserves the atom count and the trajectory/energies
+  against the no-DD serial reference, while measurably reducing the
+  per-rank pair imbalance on a slab system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dd import DDGrid, DDSimulator, DomainDecomposition
+from repro.dd.dlb import DLB_MAX_STEP, DlbController, resize_widths
+from repro.md import ReferenceSimulator, make_system
+from repro.obs.metrics import METRICS
+
+R_COMM = 0.77  # cutoff 0.65 + buffer 0.12, the conftest defaults
+
+
+def _pair_imbalance(sim: DDSimulator) -> float:
+    """max/mean - 1 over per-rank pair counts of the last search."""
+    pairs = np.array(
+        [float(w.n_pairs_local + w.n_pairs_nonlocal) for w in sim.workloads]
+    )
+    return float(pairs.max() / pairs.mean()) - 1.0
+
+
+class TestResizeWidths:
+    def test_invariants_on_random_histories(self):
+        """Total extent, element count, positivity, and the cutoff floor
+        hold for arbitrary widths/loads (zero loads included)."""
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            n = int(rng.integers(2, 9))
+            floor = float(rng.uniform(0.0, 0.4))
+            widths = floor + rng.uniform(0.05, 2.0, size=n)
+            total = float(widths.sum())
+            loads = rng.uniform(0.0, 10.0, size=n)
+            loads[rng.random(n) < 0.2] = 0.0  # vacuum cells
+            if loads.sum() <= 0:
+                loads[0] = 1.0
+            new = resize_widths(widths, loads, floor)
+            assert new.shape == (n,)
+            assert np.all(new > 0)
+            assert float(new.sum()) == pytest.approx(total, rel=1e-12)
+            assert float(new.min()) >= floor * (1.0 - 1e-9)
+
+    def test_converges_on_stationary_load(self):
+        """A fixed work-density profile: iterated resizes drive the
+        per-cell load imbalance monotonically to ~zero."""
+
+        def cell_loads(widths):
+            # Density 10 on [1.5, 2.5), 1 elsewhere, over a length-4 box.
+            edges = np.concatenate(([0.0], np.cumsum(widths)))
+            loads = np.empty(widths.size)
+            for i in range(widths.size):
+                a, b = edges[i], edges[i + 1]
+                dense = max(0.0, min(b, 2.5) - max(a, 1.5))
+                loads[i] = 10.0 * dense + ((b - a) - dense)
+            return loads
+
+        widths = np.full(4, 1.0)
+        floor = 0.2
+        imb = []
+        for _ in range(60):
+            loads = cell_loads(widths)
+            imb.append(float(loads.max() / loads.mean()) - 1.0)
+            widths = resize_widths(widths, loads, floor)
+        assert imb[0] > 0.5  # uniform start is badly imbalanced
+        assert imb[-1] < 0.02  # converged to ~balanced
+        # Monotone within the min-move noise floor: the damped, clamped
+        # relaxation never overshoots on a stationary load.
+        assert all(b <= a + 1e-3 for a, b in zip(imb, imb[1:]))
+
+    def test_floor_enforced_by_waterfilling(self):
+        """A starved cell is clamped to the floor exactly; the extent the
+        clamp takes is paid by cells above the floor, not lost."""
+        widths = np.array([1.0, 1.0, 1.0, 1.0])
+        loads = np.array([0.0, 100.0, 100.0, 0.0])
+        w = widths.copy()
+        for _ in range(30):
+            w = resize_widths(w, loads * w / widths, 0.9)
+        assert float(w.sum()) == pytest.approx(4.0, rel=1e-12)
+        assert float(w.min()) >= 0.9 * (1.0 - 1e-9)
+
+    def test_max_step_bounds_each_move(self):
+        """Extreme load contrast cannot move a width more than the
+        relative clamp in one update (symmetric case: no renorm drift)."""
+        widths = np.full(4, 1.0)
+        loads = np.array([1e6, 1.0, 1.0, 1e6])
+        new = resize_widths(widths, loads, 0.0)
+        rel = np.abs(new - widths) / widths
+        assert float(rel.max()) <= DLB_MAX_STEP + 1e-9
+
+    def test_brake_halves_reversing_moves(self):
+        """A cell whose proposed move reverses its last accepted move
+        takes exactly half the step; same-direction cells are untouched
+        (before the sum-restoring renorm, checked via a symmetric case)."""
+        widths = np.full(4, 1.0)
+        loads = np.array([2.0, 1.0, 1.0, 2.0])
+        free = resize_widths(widths, loads, 0.0)
+        # Pretend the loaded cells just *grew*: their proposed shrink now
+        # reverses direction and must be halved.
+        last = np.array([0.1, -0.1, -0.1, 0.1])
+        braked = resize_widths(widths, loads, 0.0, last_move=last)
+        np.testing.assert_allclose(braked - widths, 0.5 * (free - widths))
+        # History aligned with the proposal changes nothing.
+        aligned = resize_widths(widths, loads, 0.0, last_move=-last)
+        np.testing.assert_allclose(aligned, free)
+        with pytest.raises(ValueError, match="last_move"):
+            resize_widths(widths, loads, 0.0, last_move=np.zeros(3))
+
+    def test_brake_damps_interface_limit_cycle(self):
+        """Against a load model that overshoots (the density-interface
+        case: work responds superlinearly to width, so the stationary
+        model's damped iteration is locally *unstable* — for load ∝ w^p
+        the fixed-point multiplier is 1 - damping*p, past -1 for p > 4),
+        the unbraked resizer rings forever and the brake converges."""
+
+        def run(braked: bool) -> list[float]:
+            widths = np.array([1.5, 0.5, 0.5, 1.5])
+            last = None
+            moves = []
+            for _ in range(30):
+                loads = widths**5
+                new = resize_widths(
+                    widths, loads, 0.1, last_move=last if braked else None
+                )
+                moves.append(float(np.abs(new - widths).max()))
+                last = new - widths
+                widths = new
+            return moves
+
+        free, braked = run(False), run(True)
+        assert free[-1] > 0.5 * free[0]  # the limit cycle never decays
+        assert braked[-1] < 0.01 * braked[0]  # geometric decay to rest
+
+    def test_saturated_grid_is_left_alone(self):
+        widths = np.full(3, 0.5)
+        out = resize_widths(widths, np.array([9.0, 1.0, 1.0]), 0.5)
+        np.testing.assert_array_equal(out, widths)
+
+    def test_deterministic(self):
+        widths = np.array([0.8, 1.3, 0.9, 1.0])
+        loads = np.array([3.0, 0.0, 5.0, 1.0])
+        a = resize_widths(widths, loads, 0.3)
+        b = resize_widths(widths, loads, 0.3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_inputs(self):
+        w, l = np.ones(3), np.ones(3)
+        with pytest.raises(ValueError, match="matching 1-D"):
+            resize_widths(w, np.ones(4), 0.1)
+        with pytest.raises(ValueError, match="positive"):
+            resize_widths(np.array([1.0, -1.0, 1.0]), l, 0.1)
+        with pytest.raises(ValueError, match="non-negative"):
+            resize_widths(w, np.array([1.0, -2.0, 1.0]), 0.1)
+        with pytest.raises(ValueError, match="positive sum"):
+            resize_widths(w, np.zeros(3), 0.1)
+        with pytest.raises(ValueError, match="damping"):
+            resize_widths(w, l, 0.1, damping=0.0)
+        with pytest.raises(ValueError, match="damping"):
+            resize_widths(w, l, 0.1, damping=1.5)
+        with pytest.raises(ValueError, match="max_step"):
+            resize_widths(w, l, 0.1, max_step=0.0)
+
+
+class TestBoundaries:
+    def _dd(self, shape=(1, 1, 4), dlb=True, max_pulses=2):
+        return DomainDecomposition(
+            grid=DDGrid(shape),
+            box=np.full(3, 4.0),
+            r_comm=R_COMM,
+            max_pulses=max_pulses,
+            dlb=dlb,
+        )
+
+    def test_dlb_plans_for_minimum_width(self):
+        """DLB decompositions stage pulses for the smallest cell the
+        resizer may create, halving the cutoff floor here."""
+        assert self._dd(dlb=False).npulses == (0, 0, 1)
+        dd = self._dd(dlb=True)
+        assert dd.npulses == (0, 0, 2)
+        assert dd.width_floor(2) == pytest.approx(R_COMM / 2)
+
+    def test_uniform_default_matches_non_dlb(self):
+        a, b = self._dd(dlb=False), self._dd(dlb=True)
+        assert a.is_uniform and b.is_uniform
+        rng = np.random.default_rng(1)
+        pos = rng.uniform(0.0, 4.0, size=(500, 3))
+        np.testing.assert_array_equal(a.assign_atoms(pos), b.assign_atoms(pos))
+        for rank in range(4):
+            np.testing.assert_array_equal(
+                a.bounds_of_rank(rank).lo, b.bounds_of_rank(rank).lo
+            )
+            np.testing.assert_array_equal(
+                a.bounds_of_rank(rank).hi, b.bounds_of_rank(rank).hi
+            )
+
+    def test_set_boundaries_validation(self):
+        dd = self._dd()
+        with pytest.raises(ValueError, match="undecomposed"):
+            dd.set_boundaries(0, np.array([0.0, 4.0]))
+        with pytest.raises(ValueError, match="5 edges"):
+            dd.set_boundaries(2, np.array([0.0, 2.0, 4.0]))
+        with pytest.raises(ValueError, match="span"):
+            dd.set_boundaries(2, np.array([0.0, 1.0, 2.0, 3.0, 3.5]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            dd.set_boundaries(2, np.array([0.0, 2.0, 1.0, 3.0, 4.0]))
+        with pytest.raises(ValueError, match="cutoff floor"):
+            dd.set_boundaries(2, np.array([0.0, 0.1, 2.0, 3.0, 4.0]))
+        assert dd.is_uniform  # every rejected call left the grid untouched
+
+    def test_accepted_edges_partition_atoms_exactly(self):
+        dd = self._dd()
+        dd.set_boundaries(2, np.array([0.0, 0.5, 1.2, 3.4, 4.0]))
+        assert not dd.is_uniform
+        np.testing.assert_allclose(dd.cell_widths(2), [0.5, 0.7, 2.2, 0.6])
+        rng = np.random.default_rng(2)
+        pos = rng.uniform(-4.0, 8.0, size=(2000, 3))  # exercises wrapping
+        owners = dd.assign_atoms(pos)
+        parts = dd.home_indices(pos)
+        # Exact partition: every atom exactly once.
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(parts)), np.arange(2000)
+        )
+        # Assignment agrees with the spatial bounds.
+        from repro.md.system import wrap_positions
+
+        wrapped = wrap_positions(pos, dd.box)
+        for rank, idx in enumerate(parts):
+            assert np.all(owners[idx] == rank)
+            assert np.all(dd.bounds_of_rank(rank).contains(wrapped[idx]))
+
+
+class TestController:
+    def _controller(self, shape=(2, 2, 4)):
+        dd = DomainDecomposition(
+            grid=DDGrid(shape),
+            box=np.full(3, 4.0),
+            r_comm=R_COMM,
+            max_pulses=2,
+            dlb=True,
+        )
+        return dd, DlbController(dd)
+
+    def _z_skewed_loads(self, dd):
+        """Per-rank loads heavy in the middle z slabs only."""
+        loads = np.empty(dd.grid.n_ranks)
+        for rank in range(dd.grid.n_ranks):
+            z = dd.grid.coords_of_rank(rank)[2]
+            loads[rank] = 10.0 if z in (1, 2) else 1.0
+        return loads
+
+    def test_slab_loads_aggregates_per_slab(self):
+        dd, ctl = self._controller()
+        loads = self._z_skewed_loads(dd)
+        np.testing.assert_allclose(
+            ctl.slab_loads(loads, 2), [4.0, 40.0, 40.0, 4.0]
+        )
+        with pytest.raises(ValueError, match="one load per rank"):
+            ctl.slab_loads(np.ones(3), 2)
+
+    def test_staggers_z_first(self):
+        dd, ctl = self._controller()
+        assert ctl.dims[0] == 2  # z resized first, phase order
+        moved = ctl.update(self._z_skewed_loads(dd))
+        assert moved and ctl.adjustments == 1
+        w = dd.cell_widths(2)
+        assert w[1] < w[0] and w[2] < w[3]  # overloaded slabs shrank
+        assert dd._boundaries[0] is None and dd._boundaries[1] is None
+        assert ctl.last_imbalance_after < ctl.last_imbalance_before
+
+    def test_balanced_loads_do_not_move(self):
+        dd, ctl = self._controller()
+        assert not ctl.update(np.ones(dd.grid.n_ranks))
+        assert ctl.adjustments == 0 and dd.is_uniform
+
+    def test_zero_loads_do_not_move(self):
+        dd, ctl = self._controller()
+        assert not ctl.update(np.zeros(dd.grid.n_ranks))
+        assert dd.is_uniform
+
+    def test_metrics_published(self):
+        METRICS.reset()
+        dd, ctl = self._controller()
+        assert ctl.update(self._z_skewed_loads(dd))
+        names = {name for name, _, _ in METRICS.collect("dd.dlb")}
+        assert {
+            "dd.dlb.adjustments",
+            "dd.dlb.imbalance_before_pct",
+            "dd.dlb.imbalance_after_pct",
+            "dd.dlb.boundary_spread",
+            "dd.dlb.move_rel",
+        } <= names
+
+    def test_repeated_updates_respect_floor(self):
+        """A hostile stationary load can never drive any width below the
+        floor, no matter how many updates run."""
+        dd, ctl = self._controller(shape=(1, 1, 4))
+        loads = np.array([0.0, 1000.0, 1000.0, 0.0])
+        for _ in range(40):
+            ctl.update(loads)
+        w = dd.cell_widths(2)
+        assert float(w.min()) >= dd.width_floor(2) * (1.0 - 1e-9)
+        assert float(w.sum()) == pytest.approx(4.0, rel=1e-12)
+
+
+class TestEngineDlb:
+    def _slab_pair(self, ff, dlb):
+        a = make_system("slab-1400", seed=3, ff=ff, dtype=np.float64)
+        b = a.copy()
+        ref = ReferenceSimulator(a, ff, nstlist=2, buffer=0.12)
+        sim = DDSimulator(
+            b, ff, grid=DDGrid((1, 1, 4)), nstlist=2, buffer=0.12,
+            max_pulses=2, dlb=dlb,
+        )
+        return a, b, ref, sim
+
+    def test_invalid_mode_rejected(self, ff):
+        sys = make_system("slab-1400", seed=3, ff=ff, dtype=np.float64)
+        with pytest.raises(ValueError, match="dlb"):
+            DDSimulator(sys, ff, n_ranks=2, nstlist=2, buffer=0.12, dlb="auto")
+
+    def test_resize_preserves_atoms_and_trajectory(self, ff):
+        """Boundary moves + redistribution keep every atom exactly once
+        and leave the f64 trajectory/energies on the serial reference."""
+        a, b, ref, sim = self._slab_pair(ff, "pairs")
+        er = ref.run(12)
+        ed = sim.run(12)
+        assert sim.dlb_adjustments > 0  # DLB actually moved boundaries
+        assert not sim.dd.is_uniform
+        # Every atom owned exactly once after the resized redistribution.
+        home = np.concatenate(
+            [rp.global_ids[: rp.n_home] for rp in sim.cluster.plan.ranks]
+        )
+        np.testing.assert_array_equal(np.sort(home), np.arange(b.n_atoms))
+        dx = b.positions - a.positions
+        dx -= np.rint(dx / a.box) * a.box
+        assert np.abs(dx).max() < 1e-12
+        for x, y in zip(er, ed):
+            assert y.potential == pytest.approx(x.potential, rel=1e-9)
+            assert y.kinetic == pytest.approx(x.kinetic, rel=1e-9)
+
+    def test_pairs_mode_reduces_imbalance(self, ff):
+        """The documented acceptance property at test scale: slab pair
+        imbalance with DLB converges to less than half the DLB-off value."""
+        _, _, _, off = self._slab_pair(ff, "off")
+        _, _, _, on = self._slab_pair(ff, "pairs")
+        off.run(21)
+        on.run(21)
+        imb_off = _pair_imbalance(off)
+        imb_on = _pair_imbalance(on)
+        assert off.dlb_adjustments == 0 and off.dd.is_uniform
+        assert imb_off > 1.0  # uniform slab decomposition is badly skewed
+        assert imb_on < imb_off / 2.0
+        assert on.dlb_adjustments >= 5
+
+    def test_off_mode_unchanged_vs_seed_engine(self, ff):
+        """dlb="off" must stay bit-identical to a pre-DLB engine: no
+        extra pulse planning, no boundary state."""
+        _, b, _, sim = self._slab_pair(ff, "off")
+        assert sim.dd.npulses == (0, 0, 1)
+        sim.run(4)
+        assert sim.dd.is_uniform and sim.dlb_adjustments == 0
+
+    def test_measured_mode_smoke(self, ff):
+        """Wall-clock loads are nondeterministic but physics-neutral:
+        the trajectory stays on the reference within f64 noise."""
+        a, b, ref, sim = self._slab_pair(ff, "measured")
+        ref.run(6)
+        sim.run(6)
+        dx = b.positions - a.positions
+        dx -= np.rint(dx / a.box) * a.box
+        assert np.abs(dx).max() < 1e-10

@@ -119,7 +119,14 @@ class TestImbalance:
         from repro.analysis import ablation_imbalance
 
         tbl = ablation_imbalance()
-        assert len(tbl.rows) == 12
+        # 2 synthetic cases x 3 imbalance levels x 2 sync modes, plus the
+        # executed slab rows (dlb off/pairs x 2 sync modes).
+        assert len(tbl.rows) == 16
+        executed = [r for r in tbl.rows if "(executed)" in str(r[0])]
+        assert len(executed) == 4
+        # DLB must reduce the functionally measured imbalance fraction.
+        imb = {str(r[0]): float(r[1]) for r in executed}
+        assert imb["slab-1400/4r/dlb-pairs (executed)"] < imb["slab-1400/4r/dlb-off (executed)"]
 
 
 class TestThreeWay:
